@@ -1,0 +1,69 @@
+"""Experiments A1/A2: the Section 4 approximations.
+
+A1: the balance-equation outputs the paper quotes (T ~ 6.17 exponential;
+the Erlang balance rate growing towards a total rate of ~9 at mu=10).
+A2: the bounded-queue fixed point versus the exact CTMC, and the quality
+of its optimal-timeout estimate.
+"""
+
+import numpy as np
+
+from repro.approx import (
+    TagsFixedPoint,
+    erlang_balance_rate,
+    exponential_balance_rate,
+    optimise_timeout,
+)
+from repro.experiments import render_table
+from repro.models import TagsExponential
+
+
+def test_balance_equations(once):
+    def compute():
+        rows = [["exponential", 1, exponential_balance_rate(10.0), "-"]]
+        for n in (2, 6, 12, 50, 400):
+            t = erlang_balance_rate(10.0, n)
+            rows.append([f"Erlang n={n}", n, t, t / n])
+        return rows
+
+    rows = once(compute)
+    print()
+    print("A1: Section 4 balance equations (mu = 10)")
+    print(render_table(["clock", "n", "balance t", "total rate t/n"], rows))
+    assert abs(rows[0][2] - 6.18) < 0.01        # paper: ~6.17
+    assert abs(rows[-1][3] - 8.7) < 0.2         # paper: "around 9"
+
+
+def test_fixed_point_vs_exact(once):
+    def compute():
+        rows = []
+        for t in (5.0, 20.0, 42.0, 52.0, 100.0, 300.0):
+            fp = TagsFixedPoint(lam=11, mu=10, t=t, n=6).metrics()
+            ex = TagsExponential(lam=11, mu=10, t=t, n=6).metrics()
+            rows.append([t, ex.throughput, fp.throughput, ex.mean_jobs, fp.mean_jobs])
+        return rows
+
+    rows = once(compute)
+    print()
+    print("A2: fixed point vs exact CTMC (lam=11, mu=10, n=6)")
+    print(
+        render_table(
+            ["t", "X exact", "X approx", "L exact", "L approx"], rows
+        )
+    )
+    for t, xe, xa, le, la in rows:
+        assert abs(xa - xe) / xe < 0.02
+
+    res_fp = optimise_timeout(
+        lambda t: TagsFixedPoint(lam=11, mu=10, t=t, n=6), "throughput",
+        t_min=2.0, t_max=300.0,
+    )
+    res_ex = optimise_timeout(
+        lambda t: TagsExponential(lam=11, mu=10, t=t, n=6), "throughput",
+        t_min=5.0, t_max=200.0, grid_points=12,
+    )
+    print(
+        f"\nthroughput-optimal t: fixed point {res_fp.t_opt:.1f} "
+        f"vs exact {res_ex.t_opt:.1f}"
+    )
+    assert abs(res_fp.t_opt - res_ex.t_opt) < 5.0

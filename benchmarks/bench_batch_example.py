@@ -1,0 +1,20 @@
+"""Experiment S1: the Section 1 worked example.
+
+Regenerates every mean response time the paper quotes for the six-job
+backlogs {4,5,6,7,3,2} and {99,5,6,7,3,2}.
+"""
+
+from repro.experiments import render_table, section1_example
+
+
+def test_section1_worked_example(once):
+    results = once(section1_example)
+    rows = [
+        [label, paper, ours, abs(ours - paper)]
+        for label, (paper, ours) in results.items()
+    ]
+    print()
+    print("S1: Section 1 worked example (mean response time, seconds)")
+    print(render_table(["case", "paper", "ours", "abs diff"], rows))
+    for label, (paper, ours) in results.items():
+        assert abs(ours - paper) < 0.01, label

@@ -1,0 +1,19 @@
+"""Figure 6: average queue length vs timeout rate (lam=5, mu=10, n=6,
+K1=K2=10), TAG total/per-queue vs random and shortest queue."""
+
+import numpy as np
+
+from repro.experiments import figure6, render_figure
+
+
+def test_figure6(once):
+    fig = once(figure6)
+    print()
+    print(render_figure(fig, max_rows=16))
+    y = fig.series["TAG total"]
+    k = int(np.argmin(y))
+    print(f"\nTAG optimal t (queue length): {fig.x[k]:.0f} -> L = {y[k]:.4f}")
+    # shape assertions: interior minimum near the paper's t=51, JSQ best
+    assert 0 < k < len(y) - 1
+    assert 40 <= fig.x[k] <= 60
+    assert np.all(fig.series["shortest queue"] <= y + 1e-9)

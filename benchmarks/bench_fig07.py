@@ -1,0 +1,18 @@
+"""Figure 7: average response time vs timeout rate (same systems as
+Figure 6)."""
+
+import numpy as np
+
+from repro.experiments import figure7, render_figure
+
+
+def test_figure7(once):
+    fig = once(figure7)
+    print()
+    print(render_figure(fig, max_rows=16))
+    w = fig.series["TAG"]
+    k = int(np.argmin(w))
+    print(f"\nTAG optimal t (response time): {fig.x[k]:.0f} -> W = {w[k]:.4f}")
+    # same shape as Fig 6 (loss negligible at lam=5) and JSQ < random < TAG
+    assert 40 <= fig.x[k] <= 60
+    assert fig.series["shortest queue"][0] < fig.series["random"][0] < w[k]

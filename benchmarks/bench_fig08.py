@@ -1,0 +1,19 @@
+"""Figure 8: average response time vs arrival rate, TAGS at its
+queue-length-optimal integer t (paper: t = 51, 49, 45, 42)."""
+
+import numpy as np
+
+from repro.experiments import figure8, render_figure
+from repro.experiments.config import FIG8_PAPER_OPTIMAL_T
+
+
+def test_figure8(once):
+    fig = once(figure8)
+    print()
+    print(render_figure(fig))
+    paper_t = [FIG8_PAPER_OPTIMAL_T[lam] for lam in fig.x]
+    print(f"\npaper optimal t: {paper_t}")
+    print(f"ours  optimal t: {fig.series['optimal t'].astype(int).tolist()}")
+    np.testing.assert_allclose(fig.series["optimal t"], paper_t, atol=1.0)
+    gap = fig.series["TAG (optimal t)"] - fig.series["shortest queue"]
+    assert np.all(gap > 0) and gap[-1] > gap[0]

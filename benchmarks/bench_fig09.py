@@ -1,0 +1,23 @@
+"""Figure 9: average response time vs timeout rate, H2 service
+(lam=11, alpha=0.99, mean demand 0.1, mu1=100 mu2), TAG vs shortest
+queue."""
+
+import numpy as np
+
+from repro.experiments import figure9, render_figure
+
+
+def test_figure9(once):
+    fig = once(figure9)
+    print()
+    print(render_figure(fig, max_rows=20))
+    w = fig.series["TAG"]
+    k = int(np.argmin(w))
+    jsq = fig.series["shortest queue"][0]
+    wins = w < jsq
+    print(
+        f"\nTAG optimum: t={fig.x[k]:.0f}, W={w[k]:.4f}; JSQ W={jsq:.4f}; "
+        f"TAG wins on {wins.sum()}/{len(wins)} grid points"
+    )
+    assert w[k] < jsq
+    assert wins.mean() > 0.3  # "a wide range of values of t"

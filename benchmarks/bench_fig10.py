@@ -1,0 +1,21 @@
+"""Figure 10: throughput vs timeout rate, same H2 system as Figure 9."""
+
+import numpy as np
+
+from repro.experiments import figure10, render_figure
+
+
+def test_figure10(once):
+    fig = once(figure10)
+    print()
+    print(render_figure(fig, max_rows=20))
+    x = fig.series["TAG"]
+    k = int(np.argmax(x))
+    jsq = fig.series["shortest queue"][0]
+    k4 = int(np.argmin(np.abs(fig.x - 4.0)))
+    print(
+        f"\nTAG peak: t={fig.x[k]:.0f}, X={x[k]:.4f}; JSQ X={jsq:.4f}; "
+        f"poorly tuned t=4 -> X={x[k4]:.4f}"
+    )
+    assert x[k] > jsq          # well-tuned TAG beats JSQ
+    assert x[k4] < jsq         # poorly tuned TAG loses (paper's t=4 remark)

@@ -1,0 +1,19 @@
+"""Figure 11: average response time vs proportion of short jobs alpha
+(lam=11, mu1 = 10 mu2, TAGS at its optimal t per alpha)."""
+
+import numpy as np
+
+from repro.experiments import figure11, render_figure
+
+ALPHAS = np.round(np.arange(0.89, 0.9999, 0.02), 4)  # 6-point grid
+
+
+def test_figure11(once):
+    fig = once(figure11, ALPHAS)
+    print()
+    print(render_figure(fig))
+    tag = fig.series["TAG (optimal t)"]
+    # TAG worsens with alpha; baselines improve (the paper's "reverse trend")
+    assert tag[-1] > tag[0]
+    assert fig.series["random"][-1] < fig.series["random"][0]
+    assert fig.series["shortest queue"][-1] < fig.series["shortest queue"][0]

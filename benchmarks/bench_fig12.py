@@ -1,0 +1,22 @@
+"""Figure 12: throughput vs proportion of short jobs alpha (same systems
+as Figure 11)."""
+
+import numpy as np
+
+from repro.experiments import figure12, render_figure
+
+ALPHAS = np.round(np.arange(0.89, 0.9999, 0.02), 4)
+
+
+def test_figure12(once):
+    fig = once(figure12, ALPHAS)
+    print()
+    print(render_figure(fig))
+    tag = fig.series["TAG (optimal t)"]
+    assert tag[-1] < tag[0]  # TAG throughput decreases with alpha
+    assert fig.series["random"][-1] > fig.series["random"][0]
+    # TAG's gap to JSQ closes towards the balanced (low alpha) end, and
+    # TAG out-throughputs random there
+    gap = fig.series["shortest queue"] - tag
+    assert gap[0] < gap[-1]
+    assert tag[0] >= fig.series["random"][0]

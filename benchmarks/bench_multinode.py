@@ -1,0 +1,61 @@
+"""Experiment X7: the N-node extension ("a simple matter to add more
+nodes", Section 3).
+
+Compares 2-node and 3-node TAGS chains on the same offered load and
+capacity budget, with balance-informed timeouts.
+"""
+
+from repro.experiments import render_table
+from repro.models import TagsExponential, TagsMultiNode
+
+
+def test_three_node_chain(once):
+    lam, mu = 9.0, 10.0
+
+    def compute():
+        two = TagsMultiNode(
+            lam=lam, mu=mu, timeouts=(45.0,), n=4, capacities=(6, 6)
+        ).metrics()
+        three = TagsMultiNode(
+            lam=lam, mu=mu, timeouts=(45.0, 22.0), n=4, capacities=(4, 4, 4)
+        ).metrics()
+        return two, three
+
+    two, three = once(compute)
+    print()
+    print(f"X7: multi-node TAGS, lam={lam}, mu={mu} (equal total capacity 12)")
+    rows = [
+        ["2 nodes", two.mean_jobs, two.throughput, two.response_time, two.extra["n_states"]],
+        ["3 nodes", three.mean_jobs, three.throughput, three.response_time, three.extra["n_states"]],
+    ]
+    print(render_table(["chain", "L", "X", "W", "states"], rows))
+    # flow conservation in both
+    assert abs(two.throughput + two.loss_rate - lam) < 1e-8
+    assert abs(three.throughput + three.loss_rate - lam) < 1e-8
+
+
+def test_two_node_consistency(once):
+    """The generic N-node builder must reproduce the dedicated 2-node
+    model exactly."""
+
+    def compute():
+        mn = TagsMultiNode(
+            lam=5.0, mu=10.0, timeouts=(51.0,), n=6, capacities=(10, 10)
+        ).metrics()
+        te = TagsExponential(lam=5, mu=10, t=51, n=6, K1=10, K2=10).metrics()
+        return mn, te
+
+    mn, te = once(compute)
+    print()
+    print("X7b: generic N-node builder vs Figure 3 model")
+    print(
+        render_table(
+            ["model", "L", "X", "states"],
+            [
+                ["multinode N=2", mn.mean_jobs, mn.throughput, mn.extra["n_states"]],
+                ["figure 3", te.mean_jobs, te.throughput, te.extra["n_states"]],
+            ],
+        )
+    )
+    assert abs(mn.mean_jobs - te.mean_jobs) < 1e-9
+    assert mn.extra["n_states"] == te.extra["n_states"]

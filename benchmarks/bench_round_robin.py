@@ -1,0 +1,74 @@
+"""Experiment X10: the full strategy set, including round robin.
+
+The paper's introduction lists round robin among the candidate
+no-information strategies but never evaluates it; we complete the table on
+the Figure 7 (exponential) and Figure 9 (H2) settings.
+"""
+
+from repro.experiments import render_table
+from repro.experiments.config import h2_service_fig9
+from repro.models import (
+    RandomAllocation,
+    RoundRobin,
+    ShortestQueue,
+    TagsExponential,
+    TagsHyperExponential,
+)
+
+
+def test_strategy_table_exponential(once):
+    lam, mu, K = 5.0, 10.0, 10
+
+    def compute():
+        tag = TagsExponential(lam=lam, mu=mu, t=51.0, n=6, K1=K, K2=K).metrics()
+        return [
+            ["TAGS (optimal t)", tag.response_time, tag.throughput],
+            *(
+                [name, m.response_time, m.throughput]
+                for name, m in [
+                    ("round robin", RoundRobin(lam=lam, service=mu, K=K).metrics()),
+                    ("random", RandomAllocation(lam=lam, service=mu, K=K).metrics()),
+                    ("shortest queue", ShortestQueue(lam=lam, service=mu, K=K).metrics()),
+                ]
+            ),
+        ]
+
+    rows = once(compute)
+    print()
+    print(f"X10a: all strategies, exponential demand (lam={lam}, mu={mu})")
+    print(render_table(["strategy", "W", "X"], rows))
+    vals = {r[0]: r[1] for r in rows}
+    # JSQ < RR < random < TAGS for exponential demand
+    assert vals["shortest queue"] < vals["round robin"] < vals["random"]
+    assert vals["random"] < vals["TAGS (optimal t)"]
+
+
+def test_strategy_table_h2(once):
+    lam, K = 11.0, 10
+    service = h2_service_fig9()
+    mu1, mu2 = (float(r) for r in service.rates)
+
+    def compute():
+        tag = TagsHyperExponential(
+            lam=lam, alpha=0.99, mu1=mu1, mu2=mu2, t=10.0, n=6, K1=K, K2=K
+        ).metrics()
+        return [
+            ["TAGS (t=10)", tag.response_time, tag.throughput],
+            *(
+                [name, m.response_time, m.throughput]
+                for name, m in [
+                    ("round robin", RoundRobin(lam=lam, service=service, K=K).metrics()),
+                    ("random", RandomAllocation(lam=lam, service=service, K=K).metrics()),
+                    ("shortest queue", ShortestQueue(lam=lam, service=service, K=K).metrics()),
+                ]
+            ),
+        ]
+
+    rows = once(compute)
+    print()
+    print("X10b: all strategies, Figure 9's H2 demand (lam=11)")
+    print(render_table(["strategy", "W", "X"], rows))
+    vals = {r[0]: r[1] for r in rows}
+    # heavy tail flips the ordering: TAGS best, blind strategies worst
+    assert vals["TAGS (t=10)"] < vals["shortest queue"]
+    assert vals["shortest queue"] < vals["random"]

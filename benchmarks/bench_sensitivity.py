@@ -1,0 +1,69 @@
+"""Experiment X13: how sensitive is TAGS to its timeout, really?
+
+The paper (Section 5): TAGS "is also quite sensitive to t, and when
+poorly tuned ... the throughput falls significantly", and the H2 optimum
+sits far from the exponential one.  We quantify both with elasticities
+and 5%-degradation tolerance bands on the exact chains.
+"""
+
+from repro.approx.sensitivity import metric_elasticity, tuning_tolerance
+from repro.experiments import render_table
+from repro.experiments.config import h2_service_fig9
+from repro.models import TagsExponential, TagsHyperExponential
+
+
+def test_timeout_tolerance_bands(once):
+    def compute():
+        rows = []
+        # exponential, lam=11 (overloaded -> throughput matters)
+        f_exp = lambda t: TagsExponential(lam=11, mu=10, t=t, n=6, K1=10, K2=10)
+        band = tuning_tolerance(
+            f_exp, 52.0, "throughput", maximise=True, degradation=0.05,
+            x_min=1.0, x_max=5000.0,
+        )
+        rows.append(["exponential, X", band.lo, 52.0, band.hi, band.relative_width])
+
+        # H2 (Figure 9-10), throughput
+        mu1, mu2 = (float(r) for r in h2_service_fig9().rates)
+        f_h2 = lambda t: TagsHyperExponential(
+            lam=11, alpha=0.99, mu1=mu1, mu2=mu2, t=t, n=6, K1=10, K2=10
+        )
+        band2 = tuning_tolerance(
+            f_h2, 20.0, "throughput", maximise=True, degradation=0.05,
+            x_min=1.0, x_max=5000.0,
+        )
+        rows.append(["H2, X", band2.lo, 20.0, band2.hi, band2.relative_width])
+        return rows
+
+    rows = once(compute)
+    print()
+    print("X13: timeout bands within 5% of optimal throughput")
+    print(
+        render_table(
+            ["system", "t lo", "t opt", "t hi", "rel width"], rows
+        )
+    )
+    # both systems tolerate a generous band around the optimum...
+    assert all(r[4] > 0.5 for r in rows)
+    # ...but the H2 system's band does not stretch to arbitrarily small t
+    # (the paper's t=4 failure case lies outside it)
+    assert rows[1][1] > 4.0
+
+
+def test_elasticities(once):
+    def compute():
+        f = lambda t: TagsExponential(lam=11, mu=10, t=t, n=6, K1=10, K2=10)
+        return [
+            [t, metric_elasticity(f, t, "throughput")]
+            for t in (5.0, 20.0, 52.0, 200.0, 1000.0)
+        ]
+
+    rows = once(compute)
+    print()
+    print("X13b: throughput elasticity vs t (lam=11, exponential)")
+    print(render_table(["t", "elasticity d%X/d%t"], rows))
+    es = {r[0]: r[1] for r in rows}
+    # rising side, flat top, falling tail
+    assert es[5.0] > 0
+    assert abs(es[52.0]) < 0.02
+    assert es[1000.0] < 0

@@ -1,0 +1,131 @@
+"""Experiment X6: CTMC vs discrete-event simulation.
+
+Three regimes:
+1. Erlang timeout + exponential service: the simulator executes exactly
+   the Figure 3 CTMC -> tight agreement expected.
+2. Erlang timeout + H2 service: the CTMC resamples the repeat period and
+   marginalises the timed-out job's phase (alpha'); the simulator keeps
+   the true correlation -> small systematic gap expected.
+3. Deterministic timeout + bounded-Pareto demand (Harchol-Balter's actual
+   workload): outside PEPA's reach entirely; the H2 CTMC serves as the
+   Markovian surrogate the paper argues "broadly corresponds".
+"""
+
+import numpy as np
+
+from repro.dists import BoundedPareto, Exponential
+from repro.experiments import render_table
+from repro.experiments.config import h2_service_fig9
+from repro.models import TagsExponential, TagsHyperExponential
+from repro.sim import (
+    DeterministicTimeout,
+    ErlangTimeout,
+    PoissonArrivals,
+    Simulation,
+    TagsPolicy,
+)
+
+T_END, WARMUP = 60_000.0, 3_000.0
+
+
+def test_exponential_agreement(once):
+    lam, mu, t, n = 5.0, 10.0, 51.0, 6
+
+    def compute():
+        sim = Simulation(
+            PoissonArrivals(lam),
+            Exponential(mu),
+            TagsPolicy(timeouts=(ErlangTimeout(n, t),)),
+            (10, 10),
+            seed=11,
+        )
+        return sim.run(t_end=T_END, warmup=WARMUP)
+
+    res = once(compute)
+    exact = TagsExponential(lam=lam, mu=mu, t=t, n=n).metrics()
+    print()
+    print("X6a: CTMC vs simulation, exponential service, Erlang timeout")
+    print(
+        render_table(
+            ["metric", "CTMC", "simulation"],
+            [
+                ["mean jobs", exact.mean_jobs, res.mean_jobs],
+                ["throughput", exact.throughput, res.throughput],
+                ["response time", exact.response_time, res.mean_response_time],
+            ],
+        )
+    )
+    np.testing.assert_allclose(res.mean_jobs, exact.mean_jobs, rtol=0.06)
+    np.testing.assert_allclose(res.throughput, exact.throughput, rtol=0.02)
+
+
+def test_h2_agreement(once):
+    service = h2_service_fig9()
+    mu1, mu2 = service.rates
+    lam, t, n = 11.0, 15.0, 6
+
+    def compute():
+        sim = Simulation(
+            PoissonArrivals(lam),
+            service,
+            TagsPolicy(timeouts=(ErlangTimeout(n, t),)),
+            (10, 10),
+            seed=13,
+        )
+        return sim.run(t_end=T_END, warmup=WARMUP)
+
+    res = once(compute)
+    exact = TagsHyperExponential(
+        lam=lam, alpha=0.99, mu1=float(mu1), mu2=float(mu2), t=t, n=n
+    ).metrics()
+    print()
+    print("X6b: CTMC vs simulation, H2 service (alpha' marginalisation)")
+    print(
+        render_table(
+            ["metric", "CTMC", "simulation"],
+            [
+                ["mean jobs", exact.mean_jobs, res.mean_jobs],
+                ["throughput", exact.throughput, res.throughput],
+                ["response time", exact.response_time, res.mean_response_time],
+            ],
+        )
+    )
+    # the alpha' decoupling is an approximation: allow ~15%
+    np.testing.assert_allclose(res.mean_jobs, exact.mean_jobs, rtol=0.15)
+    np.testing.assert_allclose(res.throughput, exact.throughput, rtol=0.05)
+
+
+def test_bounded_pareto(once):
+    """The real Harchol-Balter workload with a deterministic timeout."""
+    bp = BoundedPareto(0.0325, 100.0, 1.1)  # mean ~0.1, very heavy tail
+
+    def compute():
+        sim = Simulation(
+            PoissonArrivals(8.0),
+            bp,
+            TagsPolicy(timeouts=(DeterministicTimeout(0.3),)),
+            (10, 10),
+            seed=17,
+        )
+        return sim.run(t_end=T_END, warmup=WARMUP)
+
+    res = once(compute)
+    print()
+    print(
+        "X6c: bounded-Pareto demand (mean "
+        f"{bp.mean:.3f}, scv {bp.scv:.1f}), deterministic timeout 0.3"
+    )
+    print(
+        render_table(
+            ["metric", "simulation"],
+            [
+                ["mean jobs", res.mean_jobs],
+                ["throughput", res.throughput],
+                ["response time", res.mean_response_time],
+                ["mean slowdown", res.mean_slowdown],
+                ["loss probability", res.loss_probability],
+            ],
+        )
+    )
+    assert res.completed > 1000
+    assert res.mean_slowdown > 1.0

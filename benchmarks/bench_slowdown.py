@@ -1,0 +1,74 @@
+"""Experiment X11: mean slowdown by job class (Harchol-Balter's metric).
+
+The paper's reference [5] evaluates TAGS on *mean slowdown*
+(response/demand) because heavy tails make raw response time blind to the
+short-job experience.  We measure per-class slowdown by simulation on the
+Figure 9 workload: TAGS should protect the 99% of short jobs at the
+expense of the 1% long ones, while JSQ and random mix the classes.
+"""
+
+import numpy as np
+
+from repro.experiments import render_table
+from repro.experiments.config import h2_service_fig9
+from repro.sim import (
+    DeterministicTimeout,
+    JSQPolicy,
+    PoissonArrivals,
+    RandomPolicy,
+    Simulation,
+    TagsPolicy,
+)
+
+LAM = 10.0
+T_END, WARMUP = 60_000.0, 3_000.0
+SERVICE = h2_service_fig9()
+SHORT_THRESHOLD = 0.5  # >= 5 mean short-job sizes, << long-job mean
+
+
+def _run(policy, seed):
+    sim = Simulation(
+        PoissonArrivals(LAM), SERVICE, policy, (10, 10), seed=seed
+    )
+    return sim.run(t_end=T_END, warmup=WARMUP)
+
+
+def test_slowdown_fairness(once):
+    def compute():
+        return {
+            "TAGS (tau=0.6)": _run(
+                TagsPolicy(timeouts=(DeterministicTimeout(0.6),)), 1
+            ),
+            "JSQ": _run(JSQPolicy(), 2),
+            "random": _run(RandomPolicy(), 3),
+        }
+
+    results = once(compute)
+    rows = []
+    for name, res in results.items():
+        s_short, s_long = res.mean_slowdown_by_class(SHORT_THRESHOLD)
+        rows.append(
+            [
+                name,
+                res.mean_slowdown,
+                s_short,
+                s_long,
+                res.slowdown_percentile(95),
+            ]
+        )
+    print()
+    print(
+        f"X11: slowdown by class, H2 demand (99% short), lam={LAM} "
+        f"(short = demand <= {SHORT_THRESHOLD})"
+    )
+    print(
+        render_table(
+            ["policy", "mean slowdown", "short jobs", "long jobs", "p95"],
+            rows,
+        )
+    )
+    by = {r[0]: r for r in rows}
+    # TAGS gives short jobs a better slowdown than either blind baseline
+    assert by["TAGS (tau=0.6)"][2] < by["random"][2]
+    # and pays for it on the long jobs (they repeat their timeout work)
+    assert by["TAGS (tau=0.6)"][3] > by["JSQ"][3]

@@ -1,0 +1,22 @@
+"""Experiment T1: the state-space size claim of Section 5.
+
+"The model specified in Figure 3 is analysed with n = 6 and K1 = K2 = 10.
+This gives rise to a model of 4331 states."
+"""
+
+from repro.experiments import render_table, state_space_table
+
+
+def test_figure3_state_space(once):
+    tbl = once(state_space_table)
+    print()
+    print("T1: Figure 3 model state space (n=6, K1=K2=10)")
+    print(
+        render_table(
+            ["quantity", "value"],
+            [[k, v] for k, v in tbl.items()],
+            float_fmt="{:.0f}",
+        )
+    )
+    assert tbl["measured_states"] == 4331
+    assert tbl["formula_states"] == 4331

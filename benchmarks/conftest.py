@@ -1,0 +1,20 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one experiment from the paper (see the
+experiment index in DESIGN.md), prints the series the paper plots, and
+times the regeneration through pytest-benchmark.  Expensive figure sweeps
+run exactly once (``rounds=1``): the timing of interest is "how long does
+reproducing this figure take", not a micro-benchmark statistic.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under the benchmark clock."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` works on environments without the `wheel`
+package (no network access for build isolation)."""
+
+from setuptools import setup
+
+setup()

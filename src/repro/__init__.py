@@ -1,0 +1,43 @@
+"""repro -- reproduction of "Modelling job allocation where service
+duration is unknown" (N. Thomas, IPPS 2006).
+
+Subpackages
+-----------
+``repro.core``
+    Facade over the paper's primary contribution: the TAGS models and the
+    figure-regeneration entry points.
+``repro.pepa``
+    The PEPA Markovian process algebra (syntax, parser, semantics, state
+    space, CTMC mapping, fluid approximation).
+``repro.ctmc``
+    CTMC numerics: generators, steady-state and transient solvers,
+    rewards, structural analysis.
+``repro.dists``
+    Phase-type distributions, residual-life computations, EM fitting,
+    bounded Pareto.
+``repro.models``
+    The paper's queueing systems (TAGS exp/H2, random, shortest queue,
+    M/M/1/K, M/PH/1/K), each as PEPA and as a direct CTMC.
+``repro.approx``
+    Section 4's timeout approximations and the optimiser.
+``repro.sim``
+    Discrete-event simulation with true kill-and-restart semantics.
+``repro.batch``
+    The Section 1 deterministic worked-example calculator.
+``repro.experiments``
+    One function per paper figure, plus report rendering.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "pepa",
+    "ctmc",
+    "dists",
+    "models",
+    "approx",
+    "sim",
+    "batch",
+    "experiments",
+    "core",
+]

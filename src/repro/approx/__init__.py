@@ -1,0 +1,41 @@
+"""Section 4 of the paper: simple approximations for good timeout values.
+
+* :mod:`~repro.approx.balance` -- the demand-balance equations for
+  unbounded queues: exponential timeout (``mu^2 = T^2 + T mu``) and the
+  Erlang-timeout generalisation, solved by bracketed root finding.
+* :mod:`~repro.approx.fixed_point` -- the bounded-queue decomposition:
+  node 1 and node 2 approximated as M/M/1/K queues whose parameters are
+  derived from the timeout race, yielding cheap estimates of loss,
+  population and throughput as functions of ``t``.
+* :mod:`~repro.approx.optimizer` -- timeout optimisation against a chosen
+  metric, either on the cheap fixed-point model or on the exact CTMC.
+"""
+
+from repro.approx.balance import (
+    exponential_balance_rate,
+    erlang_balance_rate,
+    erlang_balance_residual,
+    expected_race_duration,
+    timeout_win_probability,
+)
+from repro.approx.fixed_point import TagsFixedPoint
+from repro.approx.optimizer import optimise_timeout, OptimisationResult
+from repro.approx.sensitivity import (
+    metric_derivative,
+    metric_elasticity,
+    tuning_tolerance,
+)
+
+__all__ = [
+    "exponential_balance_rate",
+    "erlang_balance_rate",
+    "erlang_balance_residual",
+    "expected_race_duration",
+    "timeout_win_probability",
+    "TagsFixedPoint",
+    "optimise_timeout",
+    "OptimisationResult",
+    "metric_derivative",
+    "metric_elasticity",
+    "tuning_tolerance",
+]

@@ -1,0 +1,126 @@
+"""Sensitivity of TAGS metrics to the timeout (and other parameters).
+
+The paper warns that TAGS "is also quite sensitive to t, and when poorly
+tuned ... the throughput falls significantly", and that the optimum moves
+with the demand distribution and arrival rate.  This module quantifies
+that: central finite-difference derivatives and elasticities of any metric
+with respect to any scalar model parameter, plus a robustness summary
+(how far can t drift before the metric degrades by x%?).
+
+Derivatives are computed on the exact CTMC (each evaluation is a sparse
+solve), so they are noise-free and a simple central difference with a
+relative step is accurate to ~1e-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["metric_derivative", "metric_elasticity", "tuning_tolerance"]
+
+
+def _metric_value(model_factory: Callable, x: float, metric: str) -> float:
+    return float(getattr(model_factory(x).metrics(), metric))
+
+
+def metric_derivative(
+    model_factory: Callable,
+    x: float,
+    metric: str = "response_time",
+    *,
+    rel_step: float = 1e-4,
+) -> float:
+    """Central-difference ``d metric / d x`` at ``x``.
+
+    ``model_factory(x)`` must return an object with ``.metrics()``.
+    """
+    if x <= 0:
+        raise ValueError("x must be positive")
+    h = x * rel_step
+    up = _metric_value(model_factory, x + h, metric)
+    dn = _metric_value(model_factory, x - h, metric)
+    return (up - dn) / (2 * h)
+
+
+def metric_elasticity(
+    model_factory: Callable,
+    x: float,
+    metric: str = "response_time",
+    **kw,
+) -> float:
+    """Dimensionless elasticity ``(x / m) * dm/dx``: the % change in the
+    metric per % change in the parameter."""
+    m = _metric_value(model_factory, x, metric)
+    if m == 0:
+        raise ZeroDivisionError("metric is zero at x")
+    return metric_derivative(model_factory, x, metric, **kw) * x / m
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """How far the parameter may drift from ``x_opt`` before the metric
+    degrades by the given fraction."""
+
+    x_opt: float
+    value_opt: float
+    lo: float
+    hi: float
+    degradation: float
+
+    @property
+    def relative_width(self) -> float:
+        return (self.hi - self.lo) / self.x_opt
+
+
+def tuning_tolerance(
+    model_factory: Callable,
+    x_opt: float,
+    metric: str = "response_time",
+    *,
+    degradation: float = 0.10,
+    maximise: bool = False,
+    x_min: float = 1e-3,
+    x_max: float = 1e6,
+) -> ToleranceBand:
+    """Width of the parameter band within which ``metric`` stays within
+    ``degradation`` of its value at ``x_opt`` (bisection on both sides).
+
+    ``maximise=True`` treats larger metric values as better (throughput).
+    """
+    if not (0 < degradation < 1):
+        raise ValueError("degradation must be in (0, 1)")
+    v_opt = _metric_value(model_factory, x_opt, metric)
+    if maximise:
+        threshold = v_opt * (1 - degradation)
+        bad = lambda v: v < threshold
+    else:
+        threshold = v_opt * (1 + degradation)
+        bad = lambda v: v > threshold
+
+    def find_edge(direction: int) -> float:
+        """Bisect for the threshold crossing on one side of x_opt."""
+        x_far = x_max if direction > 0 else x_min
+        if not bad(_metric_value(model_factory, x_far, metric)):
+            return x_far  # never degrades within the search range
+        lo, hi = (x_opt, x_far) if direction > 0 else (x_far, x_opt)
+        # invariant: metric acceptable at the x_opt side, bad at the far side
+        for _ in range(60):
+            mid = np.sqrt(lo * hi)  # geometric bisection (scale-free)
+            if bad(_metric_value(model_factory, mid, metric)) == (direction > 0):
+                hi = mid
+            else:
+                lo = mid
+            if hi / lo < 1 + 1e-6:
+                break
+        return np.sqrt(lo * hi)
+
+    return ToleranceBand(
+        x_opt=x_opt,
+        value_opt=v_opt,
+        lo=find_edge(-1),
+        hi=find_edge(+1),
+        degradation=degradation,
+    )

@@ -1,0 +1,14 @@
+"""Deterministic batch analysis of TAGS (the paper's Section 1 worked
+example)."""
+
+from repro.batch.deterministic import (
+    tags_batch_completion_times,
+    tags_batch_mean_response,
+    optimal_batch_timeout,
+)
+
+__all__ = [
+    "tags_batch_completion_times",
+    "tags_batch_mean_response",
+    "optimal_batch_timeout",
+]

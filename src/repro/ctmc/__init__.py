@@ -1,0 +1,76 @@
+"""Continuous-time Markov chain numerics.
+
+This subpackage is the numerical substrate of the reproduction: sparse
+generator matrices, steady-state solvers, transient solution by
+uniformization, reward structures and structural (graph) analysis.
+
+The public entry points are:
+
+* :class:`~repro.ctmc.generator.Generator` -- a validated sparse CTMC
+  generator matrix with labelled transition support.
+* :func:`~repro.ctmc.steady.steady_state` -- steady-state distribution with
+  a choice of solvers (GTH, direct sparse LU, power iteration,
+  Gauss-Seidel, GMRES).
+* :func:`~repro.ctmc.transient.transient_distribution` -- uniformization.
+* :mod:`~repro.ctmc.rewards` -- expected rewards, action throughputs and
+  Little's-law utilities.
+* :mod:`~repro.ctmc.structure` -- reachability / irreducibility checks.
+"""
+
+from repro.ctmc.generator import Generator
+from repro.ctmc.steady import (
+    SteadyStateError,
+    steady_state,
+    steady_state_gth,
+    steady_state_direct,
+    steady_state_power,
+    steady_state_gauss_seidel,
+    steady_state_gmres,
+)
+from repro.ctmc.transient import transient_distribution, uniformized_dtmc
+from repro.ctmc.rewards import (
+    expected_reward,
+    action_throughput,
+    littles_law_response_time,
+)
+from repro.ctmc.structure import (
+    strongly_connected_components,
+    is_irreducible,
+    reachable_from,
+    absorbing_states,
+)
+from repro.ctmc.passage import (
+    mean_first_passage_times,
+    absorption_probabilities,
+    absorbing_on_action,
+)
+from repro.ctmc.lumping import lump_generator, ordinary_lumping_partition
+from repro.ctmc.accumulate import expected_accumulated_reward
+from repro.ctmc.bfs import bfs_generator
+
+__all__ = [
+    "Generator",
+    "SteadyStateError",
+    "steady_state",
+    "steady_state_gth",
+    "steady_state_direct",
+    "steady_state_power",
+    "steady_state_gauss_seidel",
+    "steady_state_gmres",
+    "transient_distribution",
+    "uniformized_dtmc",
+    "expected_reward",
+    "action_throughput",
+    "littles_law_response_time",
+    "strongly_connected_components",
+    "is_irreducible",
+    "reachable_from",
+    "absorbing_states",
+    "mean_first_passage_times",
+    "absorption_probabilities",
+    "absorbing_on_action",
+    "lump_generator",
+    "ordinary_lumping_partition",
+    "expected_accumulated_reward",
+    "bfs_generator",
+]

@@ -1,0 +1,78 @@
+"""Breadth-first CTMC construction over tuple-encoded states.
+
+The direct model builders (TAGS, shortest queue, ...) define a successor
+function ``succ(state) -> [(action, rate, next_state), ...]`` over plain
+tuples; :func:`bfs_generator` explores the reachable set and assembles a
+labelled :class:`~repro.ctmc.generator.Generator`.  This mirrors the PEPA
+exploration but skips the process-algebra overhead, which makes the
+parameter sweeps in the benchmarks ~50x faster while the test suite pins
+both constructions to each other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc import Generator
+
+__all__ = ["bfs_generator"]
+
+
+def bfs_generator(
+    initial,
+    successors: Callable,
+    *,
+    max_states: int = 2_000_000,
+):
+    """Explore from ``initial`` and build the generator.
+
+    Returns ``(generator, states, index)`` where ``states`` is the list of
+    reachable tuples (``states[0] == initial``) and ``index`` the reverse
+    map.  Parallel transitions with the same action are summed; self-loops
+    are kept in the per-action matrices only.
+    """
+    index = {initial: 0}
+    states = [initial]
+    src: list[int] = []
+    dst: list[int] = []
+    rate: list[float] = []
+    act: list[str] = []
+
+    head = 0
+    while head < len(states):
+        sid = head
+        state = states[head]
+        head += 1
+        for action, r, nxt in successors(state):
+            if r < 0:
+                raise ValueError(f"negative rate {r} for {action!r} from {state!r}")
+            if r == 0:
+                continue
+            tid = index.get(nxt)
+            if tid is None:
+                tid = len(states)
+                if tid >= max_states:
+                    raise MemoryError(f"state space exceeded {max_states}")
+                index[nxt] = tid
+                states.append(nxt)
+            src.append(sid)
+            dst.append(tid)
+            rate.append(float(r))
+            act.append(action)
+
+    n = len(states)
+    src_a = np.asarray(src, dtype=np.int64)
+    dst_a = np.asarray(dst, dtype=np.int64)
+    rate_a = np.asarray(rate, dtype=np.float64)
+    act_a = np.asarray(act, dtype=object)
+    action_rates = {}
+    for a in sorted(set(act)):
+        mask = act_a == a
+        action_rates[a] = sp.csr_matrix(
+            (rate_a[mask], (src_a[mask], dst_a[mask])), shape=(n, n)
+        )
+    gen = Generator.from_triples(n, src_a, dst_a, rate_a, action_rates=action_rates)
+    return gen, states, index

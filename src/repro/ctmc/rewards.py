@@ -1,0 +1,79 @@
+"""Reward structures over CTMC steady states.
+
+Two reward kinds are used throughout the reproduction:
+
+* **state rewards** -- a vector ``r`` with expected value ``pi . r``
+  (mean queue length is the canonical example);
+* **rate (impulse) rewards on actions** -- the steady-state frequency of an
+  action ``a``, ``sum_i pi_i * (total rate of a-transitions out of i)``
+  (throughput and loss rates).
+
+Little's law converts these into response times: with mean population ``L``
+and *effective* (successful) throughput ``X``, the mean response time is
+``W = L / X``.  The paper computes response time exactly this way ("average
+queue length and the average arrival rate of successful jobs", Section 1).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.generator import Generator
+
+__all__ = [
+    "expected_reward",
+    "action_throughput",
+    "all_action_throughputs",
+    "littles_law_response_time",
+]
+
+
+def expected_reward(pi: np.ndarray, reward: np.ndarray) -> float:
+    """Steady-state expectation of a state reward vector."""
+    pi = np.asarray(pi, dtype=float)
+    reward = np.asarray(reward, dtype=float)
+    if pi.shape != reward.shape:
+        raise ValueError(f"shape mismatch {pi.shape} vs {reward.shape}")
+    return float(pi @ reward)
+
+
+def action_throughput(generator: Generator, pi: np.ndarray, action: str) -> float:
+    """Steady-state frequency of ``action`` (completed occurrences per unit
+    time).
+
+    Requires the generator to carry an action-labelled rate matrix for
+    ``action`` (PEPA-derived generators always do).  Self-loops count: an
+    action that does not change the state still occurs at its rate.
+    """
+    try:
+        R = generator.action_rates[action]
+    except KeyError:
+        raise KeyError(
+            f"generator has no rate matrix for action {action!r}; "
+            f"known actions: {sorted(generator.action_rates)}"
+        )
+    out_rates = np.asarray(R.sum(axis=1)).ravel()
+    return float(np.asarray(pi, dtype=float) @ out_rates)
+
+
+def all_action_throughputs(generator: Generator, pi: np.ndarray) -> dict[str, float]:
+    """Throughput of every labelled action."""
+    return {
+        a: action_throughput(generator, pi, a) for a in sorted(generator.action_rates)
+    }
+
+
+def littles_law_response_time(mean_population: float, throughput: float) -> float:
+    """Mean response time ``W = L / X``.
+
+    ``throughput`` must be the rate of *successfully completing* jobs; jobs
+    dropped from a bounded queue never accrue response time.
+    """
+    if throughput <= 0:
+        raise ValueError(f"non-positive throughput {throughput}")
+    if mean_population < 0:
+        raise ValueError(f"negative population {mean_population}")
+    return mean_population / throughput

@@ -1,0 +1,117 @@
+"""Structural (graph) analysis of CTMCs.
+
+Steady-state solvers assume irreducibility; these helpers verify it and
+diagnose failures.  The SCC computation is an iterative Tarjan (no recursion
+limit issues on 10^5-state chains); reachability is a vectorised BFS over
+the CSR structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.generator import Generator
+
+__all__ = [
+    "strongly_connected_components",
+    "is_irreducible",
+    "reachable_from",
+    "absorbing_states",
+]
+
+
+def _adjacency(generator) -> sp.csr_matrix:
+    Q = generator.Q if isinstance(generator, Generator) else sp.csr_matrix(generator)
+    A = Q.copy()
+    A.setdiag(0.0)
+    A.eliminate_zeros()
+    return sp.csr_matrix(A)
+
+
+def strongly_connected_components(generator) -> list[np.ndarray]:
+    """SCCs of the transition graph, as arrays of state indices.
+
+    Iterative Tarjan; components are returned in reverse topological order
+    (a component only has edges into components that appear earlier in the
+    returned list or itself).
+    """
+    A = _adjacency(generator)
+    n = A.shape[0]
+    indptr, indices = A.indptr, A.indices
+
+    index = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    stack: list[int] = []
+    comps: list[np.ndarray] = []
+    counter = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # each work-stack frame: (node, next-child-pointer)
+        work = [(root, indptr[root])]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            v, ptr = work[-1]
+            if ptr < indptr[v + 1]:
+                work[-1] = (v, ptr + 1)
+                w = indices[ptr]
+                if index[w] == -1:
+                    index[w] = lowlink[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack[w] = True
+                    work.append((w, indptr[w]))
+                elif on_stack[w]:
+                    lowlink[v] = min(lowlink[v], index[w])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[v])
+                if lowlink[v] == index[v]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        comp.append(w)
+                        if w == v:
+                            break
+                    comps.append(np.asarray(comp, dtype=np.int64))
+    return comps
+
+
+def is_irreducible(generator) -> bool:
+    """True when every state communicates with every other state."""
+    comps = strongly_connected_components(generator)
+    return len(comps) == 1
+
+
+def reachable_from(generator, start: int = 0) -> np.ndarray:
+    """Indices of states reachable from ``start`` (including itself)."""
+    A = _adjacency(generator)
+    n = A.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    frontier = np.asarray([start], dtype=np.int64)
+    seen[start] = True
+    indptr, indices = A.indptr, A.indices
+    while frontier.size:
+        nxt = np.concatenate(
+            [indices[indptr[v] : indptr[v + 1]] for v in frontier]
+        ) if frontier.size else np.empty(0, np.int64)
+        nxt = np.unique(nxt)
+        nxt = nxt[~seen[nxt]]
+        seen[nxt] = True
+        frontier = nxt
+    return np.flatnonzero(seen)
+
+
+def absorbing_states(generator) -> np.ndarray:
+    """States with zero exit rate."""
+    Q = generator.Q if isinstance(generator, Generator) else sp.csr_matrix(generator)
+    return np.flatnonzero(-Q.diagonal() <= 0)

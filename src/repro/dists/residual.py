@@ -1,0 +1,81 @@
+"""Residual service after a lost race against the TAGS timeout.
+
+In the TAGS model a job's service races the Erlang timeout at node 1.  When
+the timeout wins, the job restarts at node 2 and -- after the *repeat
+service* that redoes the lost work -- needs its **residual** demand.
+
+* Exponential service: by memorylessness the residual is the original
+  Exponential(mu) (this is why Figure 3 simply reuses rate ``mu`` for
+  ``service2``).
+* H2 service (Section 3.2): "the result has an H2-distribution, although
+  with parameters alpha', mu1 and mu2".  The phase rates are unchanged
+  (each branch is memoryless) but the mixing probability tilts towards long
+  jobs, because long jobs are more likely to lose the race.  With timeout
+  Erlang(k, t) and phase rates mu_j::
+
+      P[timeout wins | phase j] = (t / (t + mu_j))^k
+      alpha' = alpha p_1 / (alpha p_1 + (1 - alpha) p_2),  p_j as above.
+
+The exponent ``k`` is the number of rate-``t`` events in the timeout clock.
+In the Figure 3 component definitions that is ``n + 1`` (n ticks plus the
+timeout action itself); the paper's Section 4 algebra uses ``n``.  Callers
+choose explicitly -- see DESIGN.md interpretation note 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dists.families import HyperExponential
+
+__all__ = [
+    "erlang_vs_exp_timeout_probability",
+    "h2_conditional_timeout_probability",
+    "h2_residual_mixing",
+    "h2_residual",
+]
+
+
+def erlang_vs_exp_timeout_probability(t: float, mu: float, k: int) -> float:
+    """P[Erlang(k, t) < Exponential(mu)] -- the probability that the timeout
+    beats the service.
+
+    Each of the ``k`` rate-``t`` stages must complete before the exponential
+    fires, independently by memorylessness: ``(t / (t + mu))^k``.
+    """
+    if t <= 0 or mu <= 0:
+        raise ValueError("rates must be positive")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return float((t / (t + mu)) ** k)
+
+
+def h2_conditional_timeout_probability(
+    t: float, alpha: float, mu1: float, mu2: float, k: int
+) -> float:
+    """Unconditional P[timeout wins] for an H2(alpha, mu1, mu2) service."""
+    p1 = erlang_vs_exp_timeout_probability(t, mu1, k)
+    p2 = erlang_vs_exp_timeout_probability(t, mu2, k)
+    return alpha * p1 + (1.0 - alpha) * p2
+
+
+def h2_residual_mixing(
+    t: float, alpha: float, mu1: float, mu2: float, k: int
+) -> float:
+    """The paper's ``alpha'``: P[job is short | it timed out]."""
+    if not (0 <= alpha <= 1):
+        raise ValueError(f"alpha must be in [0,1], got {alpha}")
+    p1 = alpha * erlang_vs_exp_timeout_probability(t, mu1, k)
+    p2 = (1.0 - alpha) * erlang_vs_exp_timeout_probability(t, mu2, k)
+    total = p1 + p2
+    if total == 0.0:  # pragma: no cover - requires degenerate rates
+        raise ZeroDivisionError("timeout has zero probability")
+    return p1 / total
+
+
+def h2_residual(
+    t: float, alpha: float, mu1: float, mu2: float, k: int
+) -> HyperExponential:
+    """The residual-demand distribution H2(alpha', mu1, mu2)."""
+    a = h2_residual_mixing(t, alpha, mu1, mu2, k)
+    return HyperExponential.h2(a, mu1, mu2)

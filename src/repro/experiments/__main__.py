@@ -1,0 +1,114 @@
+"""Command-line figure regeneration.
+
+Usage::
+
+    python -m repro.experiments                 # everything (slow)
+    python -m repro.experiments 6 7 s1 t1       # selected experiments
+    python -m repro.experiments 9 --csv out/    # also write out/figure9.csv
+
+Experiment ids: ``6``-``12`` (figures), ``s1`` (Section 1 example),
+``t1`` (state-space count), ``a`` (Section 4 approximations).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.experiments import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    render_figure,
+    render_table,
+    section1_example,
+    section4_approximations,
+    state_space_table,
+)
+
+
+def _print_s1() -> None:
+    print("S1: Section 1 worked example")
+    rows = [
+        [label, paper, ours]
+        for label, (paper, ours) in section1_example().items()
+    ]
+    print(render_table(["case", "paper", "ours"], rows))
+
+
+def _print_t1() -> None:
+    print("T1: Figure 3 state space")
+    print(
+        render_table(
+            ["quantity", "value"],
+            [[k, v] for k, v in state_space_table().items()],
+            float_fmt="{:.0f}",
+        )
+    )
+
+
+def _print_a() -> None:
+    print("A: Section 4 approximations")
+    print(
+        render_table(
+            ["quantity", "value"],
+            [[k, v] for k, v in section4_approximations().items()],
+        )
+    )
+
+
+FIGURES = {
+    "6": figure6,
+    "7": figure7,
+    "8": figure8,
+    "9": figure9,
+    "10": figure10,
+    "11": figure11,
+    "12": figure12,
+}
+SPECIALS = {"s1": _print_s1, "t1": _print_t1, "a": _print_a}
+
+
+def main(argv=None) -> int:
+    args = [a.lower() for a in (sys.argv[1:] if argv is None else argv)]
+    csv_dir = None
+    if "--csv" in args:
+        i = args.index("--csv")
+        try:
+            csv_dir = pathlib.Path(args[i + 1])
+        except IndexError:
+            print("--csv needs a directory argument", file=sys.stderr)
+            return 2
+        del args[i : i + 2]
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    if not args:
+        args = ["s1", "t1", "a"] + sorted(FIGURES, key=int)
+    for arg in args:
+        if arg in SPECIALS:
+            SPECIALS[arg]()
+        elif arg in FIGURES:
+            fig = FIGURES[arg]()
+            print(render_figure(fig, max_rows=20))
+            if csv_dir is not None:
+                from repro.experiments.report import figure_to_csv
+
+                path = csv_dir / f"figure{arg}.csv"
+                figure_to_csv(fig, path)
+                print(f"(written to {path})")
+        else:
+            print(
+                f"unknown experiment {arg!r}; choose from "
+                f"{sorted(SPECIALS) + sorted(FIGURES, key=int)}",
+                file=sys.stderr,
+            )
+            return 2
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Parameter sets of the paper's evaluation (Section 5).
+
+Everything the paper pins down, in one place:
+
+* Figures 6-7: lam = 5, mu = 10, n = 6, K1 = K2 = 10, timeout rate swept.
+* Figure 8: lam in {5, 7, 9, 11}, TAGS at the queue-length-optimal integer
+  t (the paper quotes 51, 49, 45, 42).
+* Figures 9-10: H2 service, alpha = 0.99, mean demand 0.1,
+  mu1 = 100 mu2 (=> mu1 = 19.9, mu2 = 0.199), lam = 11.
+* Figures 11-12: mu1 = 10 mu2, alpha swept over [0.89, 0.99], lam = 11,
+  TAGS at its optimal t per alpha.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dists.families import HyperExponential, h2_balanced_means
+
+__all__ = [
+    "FIG6_PARAMS",
+    "FIG6_T_GRID",
+    "FIG8_LAMBDAS",
+    "FIG8_PAPER_OPTIMAL_T",
+    "FIG9_PARAMS",
+    "FIG9_T_GRID",
+    "FIG11_ALPHAS",
+    "MEAN_SERVICE",
+    "h2_service_fig9",
+    "h2_service_fig11",
+]
+
+MEAN_SERVICE = 0.1
+"""All service-demand distributions in the paper have mean 1/mu = 0.1."""
+
+FIG6_PARAMS = dict(lam=5.0, mu=10.0, n=6, K1=10, K2=10)
+FIG6_T_GRID = np.arange(4.0, 121.0, 4.0)
+
+FIG8_LAMBDAS = (5.0, 7.0, 9.0, 11.0)
+FIG8_PAPER_OPTIMAL_T = {5.0: 51, 7.0: 49, 9.0: 45, 11.0: 42}
+"""The paper's quoted queue-length-optimal integer timeout rates."""
+
+FIG9_PARAMS = dict(lam=11.0, alpha=0.99, ratio=100.0, n=6, K1=10, K2=10)
+FIG9_T_GRID = np.arange(2.0, 101.0, 2.0)
+
+FIG11_ALPHAS = np.round(np.arange(0.89, 0.9999, 0.01), 4)
+"""Figure 11-12 sweep: proportion of short jobs, 0.89 .. 0.99."""
+
+
+def h2_service_fig9() -> HyperExponential:
+    """H2 of Figures 9-10: mean 0.1, alpha 0.99, mu1 = 100 mu2."""
+    return h2_balanced_means(MEAN_SERVICE, 0.99, 100.0)
+
+
+def h2_service_fig11(alpha: float) -> HyperExponential:
+    """H2 of Figures 11-12: mean 0.1, mu1 = 10 mu2, given alpha."""
+    return h2_balanced_means(MEAN_SERVICE, alpha, 10.0)

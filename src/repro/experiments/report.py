@@ -1,0 +1,59 @@
+"""Plain-text rendering of figure data (what the benchmarks print)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import FigureData
+
+__all__ = ["render_figure", "render_table", "figure_to_csv"]
+
+
+def render_table(headers, rows, *, float_fmt: str = "{:.4f}") -> str:
+    """Align a list of rows under headers."""
+    def fmt(v) -> str:
+        if isinstance(v, float) or isinstance(v, np.floating):
+            return float_fmt.format(v)
+        return str(v)
+
+    table = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in table)) if table else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in table:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def figure_to_csv(fig: FigureData, path) -> None:
+    """Write a figure's series as CSV (x column first) for external
+    plotting tools."""
+    import csv
+
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([fig.xlabel] + list(fig.series))
+        for i in range(len(fig.x)):
+            writer.writerow(
+                [repr(float(fig.x[i]))]
+                + [repr(float(fig.series[s][i])) for s in fig.series]
+            )
+
+
+def render_figure(fig: FigureData, *, max_rows: int | None = None) -> str:
+    """Render a FigureData as the table of series the paper plots."""
+    headers = [fig.xlabel] + list(fig.series)
+    x = fig.x
+    idx = np.arange(len(x))
+    if max_rows is not None and len(x) > max_rows:
+        idx = np.unique(np.linspace(0, len(x) - 1, max_rows).astype(int))
+    rows = [
+        [x[i]] + [fig.series[s][i] for s in fig.series] for i in idx
+    ]
+    title = f"{fig.name}: {fig.ylabel}"
+    return title + "\n" + render_table(headers, rows)

@@ -1,0 +1,78 @@
+"""The paper's queueing models.
+
+Every allocation strategy the paper evaluates is available in two forms
+where feasible:
+
+* a **PEPA model** faithful to the figures/appendices (built
+  programmatically, analysable with :mod:`repro.pepa`);
+* a **direct CTMC** construction (vectorised state enumeration), used for
+  the parameter sweeps because it is orders of magnitude faster and is
+  cross-validated against the PEPA form in the test suite.
+
+Modules
+-------
+``tags_pepa``      Figure 3 (exponential TAGS) and Figure 4 (per-place
+                   alternative) PEPA builders.
+``tags_hyper``     Figure 5 (H2-service TAGS) PEPA builder.
+``tags_direct``    direct CTMCs for TAGS with exponential or H2 service,
+                   two nodes or the N-node extension.
+``random_alloc``   Appendix A weighted random allocation (exp analytic,
+                   H2 via M/PH/1/K).
+``shortest_queue`` Appendix B shortest-queue strategy (PEPA + direct,
+                   exp and H2 service).
+``mm1k``           analytic M/M/1/K formulas.
+``mph1k``          M/PH/1/K matrix model.
+``metrics``        the shared metric record all solvers return.
+"""
+
+from repro.models.metrics import QueueMetrics
+from repro.models.mm1k import MM1K
+from repro.models.mmck import MMcK, erlang_b, erlang_c
+from repro.models.mph1k import MPH1K
+from repro.models.tags_pepa import build_tags_model, tags_pepa_metrics
+from repro.models.tags_hyper import build_tags_h2_model, tags_h2_pepa_metrics
+from repro.models.tags_direct import (
+    TagsExponential,
+    TagsHyperExponential,
+    TagsMultiNode,
+)
+from repro.models.random_alloc import RandomAllocation
+from repro.models.round_robin import RoundRobin
+from repro.models.tags_figure4 import Figure4Model
+from repro.models.bursty import MMPP2, ShortestQueueMMPP, TagsMMPP
+from repro.models.tagged import TaggedJobAnalysis, TaggedJobAnalysisH2
+from repro.models.analytic import (
+    mg1_response_time,
+    mg1_waiting_time,
+    mm1_response_time,
+)
+from repro.models.shortest_queue import ShortestQueue, build_jsq_pepa_model
+
+__all__ = [
+    "QueueMetrics",
+    "MM1K",
+    "MMcK",
+    "erlang_b",
+    "erlang_c",
+    "MPH1K",
+    "build_tags_model",
+    "tags_pepa_metrics",
+    "build_tags_h2_model",
+    "tags_h2_pepa_metrics",
+    "TagsExponential",
+    "TagsHyperExponential",
+    "TagsMultiNode",
+    "Figure4Model",
+    "MMPP2",
+    "ShortestQueueMMPP",
+    "TagsMMPP",
+    "TaggedJobAnalysis",
+    "TaggedJobAnalysisH2",
+    "mg1_response_time",
+    "mg1_waiting_time",
+    "mm1_response_time",
+    "RandomAllocation",
+    "RoundRobin",
+    "ShortestQueue",
+    "build_jsq_pepa_model",
+]

@@ -1,0 +1,8 @@
+"""Compatibility shim: the BFS CTMC builder lives in
+:mod:`repro.ctmc.bfs` (it is generic CTMC machinery, not model
+specific).  Model modules import it from here to keep call sites
+short."""
+
+from repro.ctmc.bfs import bfs_generator
+
+__all__ = ["bfs_generator"]

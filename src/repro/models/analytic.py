@@ -1,0 +1,44 @@
+"""Classic unbounded-queue closed forms.
+
+Used to interpret the bounded-queue results (and the paper's "W > 1"
+aside for random allocation, which matches the *unbounded* M/G/1 value at
+the Figure 9 parameters -- see EXPERIMENTS.md):
+
+* Pollaczek-Khinchine mean response time for M/G/1;
+* M/M/1 response time;
+* mean slowdown of M/G/1 under FCFS (E[W_q]/E[. per-size] + 1 form).
+"""
+
+from __future__ import annotations
+
+__all__ = ["mm1_response_time", "mg1_response_time", "mg1_waiting_time"]
+
+
+def mm1_response_time(lam: float, mu: float) -> float:
+    """Unbounded M/M/1: ``1 / (mu - lam)``; requires ``lam < mu``."""
+    if lam <= 0 or mu <= 0:
+        raise ValueError("rates must be positive")
+    if lam >= mu:
+        raise ValueError(f"unstable queue: lam={lam} >= mu={mu}")
+    return 1.0 / (mu - lam)
+
+
+def mg1_waiting_time(lam: float, service) -> float:
+    """Pollaczek-Khinchine mean waiting time ``lam E[S^2] / (2(1 - rho))``.
+
+    ``service`` needs ``mean`` and ``moment(2)`` (all our distribution
+    classes do).
+    """
+    if lam <= 0:
+        raise ValueError("lam must be positive")
+    es = service.mean
+    es2 = service.moment(2)
+    rho = lam * es
+    if rho >= 1:
+        raise ValueError(f"unstable queue: rho={rho:.3f} >= 1")
+    return lam * es2 / (2.0 * (1.0 - rho))
+
+
+def mg1_response_time(lam: float, service) -> float:
+    """Unbounded M/G/1 mean response time, ``E[S] + W_q``."""
+    return service.mean + mg1_waiting_time(lam, service)

@@ -1,0 +1,184 @@
+"""Count-based (aggregated) exploration of replicated-component models.
+
+Section 3.1 of the paper proposes re-encoding each queue place as its own
+component (Figure 4) and analysing the result by *counting* components per
+local derivative instead of tracking their identities.  The identity-free
+quotient is exact -- identical parallel components are ordinarily lumpable
+-- and this module explores that quotient directly, so the Figure 4 model
+costs O(queue length) states per group rather than O(2^K).
+
+The model shape matches :class:`~repro.pepa.fluid.FluidModel`: a set of
+*groups*, each a multiset of copies of one sequential component, plus the
+set of action types synchronised *between* groups.  The CTMC semantics of
+the quotient:
+
+* unsynced action, local transition ``d -> d'`` at active rate ``r``:
+  fires at ``count[d] * r`` and moves one component;
+* synced action ``a``: every group enabling ``a`` participates.  Each
+  group's apparent rate is the count-weighted sum of its enabled rates
+  (passive rates sum weights); the combined rate is PEPA's
+  ``prod(branch fractions) * min(active apparent rates)``, and the
+  transition moves one component in *each* participating group.
+
+This flattens the cooperation tree into one participant set per action
+type, which is exact when each action's cooperation structure forms a
+single clique -- true for Figure 4 and every model in this reproduction;
+a :class:`ValueError` guards the unsynced-passive case that would violate
+it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ctmc import Generator
+from repro.ctmc.bfs import bfs_generator
+from repro.pepa.fluid import FluidGroup
+from repro.pepa.semantics import TransitionContext
+from repro.pepa.syntax import Constant, Model
+
+__all__ = ["CountedModel"]
+
+
+@dataclass
+class _Local:
+    group: int
+    src: int
+    dst: int
+    value: float
+    passive: bool
+
+
+class CountedModel:
+    """Aggregated CTMC of a replicated-component PEPA model.
+
+    Parameters mirror :class:`~repro.pepa.fluid.FluidModel`; counts must be
+    integers here (they are component multiplicities, not fluid masses).
+    """
+
+    def __init__(self, model: Model, groups: list, synced: set) -> None:
+        self.model = model
+        self.groups = list(groups)
+        self.synced = frozenset(synced)
+        for g in self.groups:
+            for name, c in g.initial.items():
+                if c != int(c) or c < 0:
+                    raise ValueError(
+                        f"count for {name!r} in group {g.name!r} must be a "
+                        f"non-negative integer, got {c}"
+                    )
+        self._ctx = TransitionContext(model)
+        self._build_locals()
+
+    # ------------------------------------------------------------------
+    def _build_locals(self) -> None:
+        self._deriv_names: list[list[str]] = []
+        self._deriv_index: list[dict] = []
+        self._locals_by_action: dict[str, list[_Local]] = {}
+        initial_counts = []
+        for gi, g in enumerate(self.groups):
+            derivs: list = []
+            index: dict = {}
+            todo = [Constant(d) for d in g.initial]
+            while todo:
+                comp = todo.pop()
+                if comp in index:
+                    continue
+                index[comp] = len(derivs)
+                derivs.append(comp)
+                for _a, _r, succ in self._ctx.transitions(comp):
+                    if succ not in index:
+                        todo.append(succ)
+            for comp in derivs:
+                for action, rate, succ in self._ctx.transitions(comp):
+                    self._locals_by_action.setdefault(action, []).append(
+                        _Local(gi, index[comp], index[succ], rate.value, rate.passive)
+                    )
+            self._deriv_index.append(index)
+            self._deriv_names.append(
+                [c.name if isinstance(c, Constant) else repr(c) for c in derivs]
+            )
+            counts = [0] * len(derivs)
+            for name, c in g.initial.items():
+                counts[index[Constant(name)]] = int(c)
+            initial_counts.append(tuple(counts))
+        self.initial = tuple(initial_counts)
+
+        # sanity: unsynced actions must be purely active
+        for action, locs in self._locals_by_action.items():
+            if action not in self.synced and any(l.passive for l in locs):
+                raise ValueError(
+                    f"action {action!r} has passive rates but is not in the "
+                    "synced set; it could never fire"
+                )
+
+    # ------------------------------------------------------------------
+    def _successors(self, state):
+        out = []
+        for action, locs in self._locals_by_action.items():
+            by_group: dict[int, list] = {}
+            for l in locs:
+                if state[l.group][l.src] > 0:
+                    by_group.setdefault(l.group, []).append(l)
+            if not by_group:
+                continue
+            if action not in self.synced:
+                for gi, ls in by_group.items():
+                    for l in ls:
+                        rate = state[gi][l.src] * l.value
+                        out.append((action, rate, self._move(state, [l])))
+                continue
+            # synced: all groups that *could ever* perform the action must
+            # currently enable it
+            all_groups = {l.group for l in self._locals_by_action[action]}
+            if set(by_group) != all_groups:
+                continue  # someone is blocked
+            apparent = {}
+            for gi, ls in by_group.items():
+                total = sum(state[gi][l.src] * l.value for l in ls)
+                passive = ls[0].passive
+                if any(l.passive != passive for l in ls):
+                    raise ValueError(
+                        f"group {gi} mixes active and passive rates for "
+                        f"{action!r}"
+                    )
+                apparent[gi] = (total, passive)
+            active_totals = [t for t, p in apparent.values() if not p]
+            if not active_totals:
+                raise ValueError(
+                    f"synced action {action!r} has no active participant"
+                )
+            rate_total = min(active_totals)
+            # branch over one local transition per group
+            for combo in itertools.product(*by_group.values()):
+                frac = 1.0
+                for l in combo:
+                    total, _p = apparent[l.group]
+                    frac *= state[l.group][l.src] * l.value / total
+                out.append((action, frac * rate_total, self._move(state, combo)))
+        return out
+
+    @staticmethod
+    def _move(state, locals_):
+        new = [list(g) for g in state]
+        for l in locals_:
+            new[l.group][l.src] -= 1
+            new[l.group][l.dst] += 1
+        return tuple(tuple(g) for g in new)
+
+    # ------------------------------------------------------------------
+    def explore(self):
+        """Return ``(generator, states, index)`` of the counted quotient."""
+        return bfs_generator(self.initial, self._successors)
+
+    def count_reward(self, group_name: str, derivative: str):
+        """Callable mapping a counted state to the number of ``derivative``
+        components in ``group_name`` (for use as a state reward)."""
+        gi = next(
+            i for i, g in enumerate(self.groups) if g.name == group_name
+        )
+        di = self._deriv_names[gi].index(derivative)
+        return lambda state: float(state[gi][di])

@@ -1,0 +1,35 @@
+"""Mapping an explored PEPA state space to a CTMC generator.
+
+The generator's off-diagonal entries sum the rates of all transitions
+between each ordered state pair; per-action rate matrices are kept so
+action throughputs (``service2`` completions, ``arrival`` losses, ...) can
+be read from the steady-state vector.  Self-loop transitions (e.g. an
+``arrival`` dropped by a full queue modelled as ``Q_K -> Q_K``) do not
+affect the generator but are retained in the action matrices, so loss rates
+remain observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.generator import Generator
+from repro.pepa.statespace import StateSpace
+
+__all__ = ["to_generator"]
+
+
+def to_generator(space: StateSpace) -> Generator:
+    """Build a :class:`~repro.ctmc.generator.Generator` from ``space``."""
+    n = space.n_states
+    action_arr = np.asarray(space.action, dtype=object)
+    action_rates = {}
+    for act in sorted(space.actions()):
+        mask = action_arr == act
+        action_rates[act] = sp.csr_matrix(
+            (space.rate[mask], (space.src[mask], space.dst[mask])), shape=(n, n)
+        )
+    return Generator.from_triples(
+        n, space.src, space.dst, space.rate, action_rates=action_rates
+    )

@@ -1,0 +1,62 @@
+"""Graphviz (DOT) export of PEPA derivation graphs.
+
+Small models are best debugged visually; :func:`to_dot` renders an
+explored state space as a labelled digraph (``dot -Tsvg model.dot``).
+States are labelled by their sequential-component names, edges by
+``action, rate``; parallel transitions between the same pair of states are
+kept separate (they are distinct activities).
+"""
+
+from __future__ import annotations
+
+from repro.pepa.statespace import StateSpace
+
+__all__ = ["to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(
+    space: StateSpace,
+    *,
+    name: str = "pepa",
+    max_states: int = 500,
+    state_label=None,
+) -> str:
+    """Render the derivation graph as DOT source.
+
+    Parameters
+    ----------
+    space :
+        An explored state space.
+    max_states :
+        Guard against accidentally dumping a 10^5-node graph.
+    state_label :
+        Optional ``(state_id) -> str`` override for node labels; defaults
+        to the comma-joined sequential component names.
+    """
+    if space.n_states > max_states:
+        raise ValueError(
+            f"state space has {space.n_states} states (> {max_states}); "
+            "raise max_states explicitly if you really want this graph"
+        )
+    if state_label is None:
+        state_label = lambda i: ", ".join(space.local_names(i))
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;"]
+    lines.append(
+        '  node [shape=box, style=rounded, fontsize=10, fontname="Helvetica"];'
+    )
+    for i in range(space.n_states):
+        shape = ' peripheries=2' if i == space.initial else ""
+        lines.append(f'  s{i} [label="{_escape(state_label(i))}"{shape}];')
+    for src, dst, rate, action in zip(
+        space.src, space.dst, space.rate, space.action
+    ):
+        lines.append(
+            f'  s{src} -> s{dst} [label="{_escape(action)}, {rate:g}", '
+            "fontsize=9];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

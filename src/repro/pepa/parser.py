@@ -1,0 +1,340 @@
+"""Textual PEPA parser (PEPA-Workbench style syntax).
+
+Grammar (``//`` and ``#`` start line comments)::
+
+    model      := statement* ;
+    statement  := ratedef | compdef | system ;
+    ratedef    := lowerident '=' rateexpr ';'
+    compdef    := UpperIdent '=' comp ';'
+    system     := comp ';'                 // a bare expression; at most one
+
+    comp       := hideterm (coopop hideterm)*        // left-associative
+    coopop     := '<' names? '>' | '||'
+    hideterm   := choice ('/' '{' names '}')*
+    choice     := prefix ('+' prefix)*
+    prefix     := '(' action ',' rateexpr ')' '.' prefix
+                | UpperIdent
+                | '(' comp ')'
+    rateexpr   := arithmetic over numbers, rate names and 'infty'/'T'
+
+Conventions (as in the PEPA Workbench):
+
+* names beginning with a lower-case letter are **rate constants**, names
+  beginning with an upper-case letter are **component constants**;
+* the system equation is a bare (un-named) expression, or -- if absent --
+  the last component definition;
+* the passive rate is written ``infty`` or ``T`` and may be weighted
+  (``2 * infty``).
+
+Example::
+
+    lam = 5.0;  mu = 10.0;
+    Idle = (arrive, lam).Busy;
+    Busy = (serve, mu).Idle + (fail, 0.01).Broken;
+    Broken = (repair, 1.0).Idle;
+    Idle;
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.pepa.rates import Rate
+from repro.pepa.syntax import (
+    Activity,
+    Choice,
+    Constant,
+    Cooperation,
+    Hiding,
+    Model,
+    Prefix,
+)
+
+__all__ = ["parse_model", "parse_component", "PepaSyntaxError"]
+
+
+class PepaSyntaxError(SyntaxError):
+    """Raised on malformed PEPA source."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|\#[^\n]*)
+  | (?P<num>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<op><>|\|\||[()<>{},.;+\-*/=])
+    """,
+    re.VERBOSE,
+)
+
+_PASSIVE_NAMES = {"infty", "T", "top", "_tt"}
+
+
+@dataclass
+class _Token:
+    kind: str  # 'num' | 'name' | 'op' | 'eof'
+    text: str
+    pos: int
+
+
+def _tokenize(src: str) -> list[_Token]:
+    tokens = []
+    i = 0
+    while i < len(src):
+        m = _TOKEN_RE.match(src, i)
+        if m is None:
+            raise PepaSyntaxError(f"unexpected character {src[i]!r} at offset {i}")
+        i = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, m.group(), m.start()))
+    tokens.append(_Token("eof", "<eof>", len(src)))
+    return tokens
+
+
+class _RateValue:
+    """Arithmetic domain for rate expressions: active floats or weighted
+    passives."""
+
+    __slots__ = ("value", "passive")
+
+    def __init__(self, value: float, passive: bool = False) -> None:
+        self.value = value
+        self.passive = passive
+
+    def to_rate(self) -> Rate:
+        return Rate(self.value, self.passive)
+
+
+def _rate_arith(op: str, a: _RateValue, b: _RateValue) -> _RateValue:
+    if op == "+":
+        if a.passive != b.passive:
+            raise PepaSyntaxError("cannot add active and passive rates")
+        return _RateValue(a.value + b.value, a.passive)
+    if op == "-":
+        if a.passive or b.passive:
+            raise PepaSyntaxError("cannot subtract passive rates")
+        return _RateValue(a.value - b.value)
+    if op == "*":
+        if a.passive and b.passive:
+            raise PepaSyntaxError("cannot multiply two passive rates")
+        return _RateValue(a.value * b.value, a.passive or b.passive)
+    if op == "/":
+        if b.passive:
+            raise PepaSyntaxError("cannot divide by a passive rate")
+        return _RateValue(a.value / b.value, a.passive)
+    raise AssertionError(op)
+
+
+class _Parser:
+    def __init__(self, src: str) -> None:
+        self.tokens = _tokenize(src)
+        self.pos = 0
+        self.rates: dict[str, _RateValue] = {}
+        self.definitions: dict = {}
+        self.system = None
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> _Token:
+        tok = self.next()
+        if tok.text != text:
+            raise PepaSyntaxError(
+                f"expected {text!r} but found {tok.text!r} at offset {tok.pos}"
+            )
+        return tok
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    # -- model level ----------------------------------------------------
+    def parse_model(self) -> Model:
+        while self.peek().kind != "eof":
+            self._statement()
+        if self.system is None:
+            if not self.definitions:
+                raise PepaSyntaxError("empty model")
+            # convention: last definition is the system equation
+            self.system = Constant(next(reversed(self.definitions)))
+        return Model(self.definitions, self.system)
+
+    def _statement(self) -> None:
+        tok = self.peek()
+        if (
+            tok.kind == "name"
+            and self.tokens[self.pos + 1].text == "="
+            and tok.text not in _PASSIVE_NAMES
+        ):
+            name = self.next().text
+            self.expect("=")
+            if name[0].isupper():
+                self.definitions[name] = self._comp()
+            else:
+                self.rates[name] = self._rate_expr()
+            self.expect(";")
+        else:
+            if self.system is not None:
+                raise PepaSyntaxError(
+                    f"second system equation at offset {tok.pos}"
+                )
+            self.system = self._comp()
+            if self.at(";"):
+                self.next()
+
+    # -- components ------------------------------------------------------
+    def _comp(self):
+        left = self._hideterm()
+        while True:
+            if self.at("||") or self.at("<>"):
+                self.next()
+                right = self._hideterm()
+                left = Cooperation(left, right, frozenset())
+            elif self.at("<"):
+                self.next()
+                names = self._name_list(closing=">")
+                right = self._hideterm()
+                left = Cooperation(left, right, frozenset(names))
+            else:
+                return left
+
+    def _hideterm(self):
+        comp = self._choice()
+        while self.at("/"):
+            self.next()
+            self.expect("{")
+            names = self._name_list(closing="}")
+            comp = Hiding(comp, frozenset(names))
+        return comp
+
+    def _choice(self):
+        left = self._prefix()
+        while self.at("+"):
+            self.next()
+            right = self._prefix()
+            left = Choice(left, right)
+        return left
+
+    def _prefix(self):
+        tok = self.peek()
+        if tok.kind == "name":
+            if not tok.text[0].isupper():
+                raise PepaSyntaxError(
+                    f"component constant expected at offset {tok.pos}; "
+                    f"{tok.text!r} names a rate (lower-case initial)"
+                )
+            self.next()
+            return Constant(tok.text)
+        if tok.text == "(":
+            # deterministic lookahead: '(' name ',' is always an activity
+            # (a component expression cannot contain a bare comma)
+            if (
+                self.tokens[self.pos + 1].kind == "name"
+                and self.tokens[self.pos + 2].text == ","
+            ):
+                return self._activity_prefix()
+            self.expect("(")
+            comp = self._comp()
+            self.expect(")")
+            return comp
+        raise PepaSyntaxError(
+            f"expected a component at offset {tok.pos}, found {tok.text!r}"
+        )
+
+    def _activity_prefix(self):
+        self.expect("(")
+        tok = self.next()
+        if tok.kind != "name":
+            raise PepaSyntaxError(f"action name expected at offset {tok.pos}")
+        action = tok.text
+        self.expect(",")
+        rate = self._rate_expr().to_rate()
+        self.expect(")")
+        self.expect(".")
+        cont = self._prefix()
+        return Prefix(Activity(action, rate), cont)
+
+    def _name_list(self, closing: str) -> list[str]:
+        names = []
+        if self.at(closing):  # empty set, e.g. "<>" split as '<' '>'
+            self.next()
+            return names
+        while True:
+            tok = self.next()
+            if tok.kind != "name":
+                raise PepaSyntaxError(
+                    f"action name expected at offset {tok.pos}, found {tok.text!r}"
+                )
+            names.append(tok.text)
+            tok = self.next()
+            if tok.text == closing:
+                return names
+            if tok.text != ",":
+                raise PepaSyntaxError(
+                    f"expected ',' or {closing!r} at offset {tok.pos}"
+                )
+
+    # -- rate expressions --------------------------------------------------
+    def _rate_expr(self) -> _RateValue:
+        left = self._rate_term()
+        while self.at("+") or self.at("-"):
+            op = self.next().text
+            right = self._rate_term()
+            left = _rate_arith(op, left, right)
+        return left
+
+    def _rate_term(self) -> _RateValue:
+        left = self._rate_atom()
+        while self.at("*") or self.at("/"):
+            op = self.next().text
+            right = self._rate_atom()
+            left = _rate_arith(op, left, right)
+        return left
+
+    def _rate_atom(self) -> _RateValue:
+        tok = self.next()
+        if tok.kind == "num":
+            return _RateValue(float(tok.text))
+        if tok.kind == "name":
+            if tok.text in _PASSIVE_NAMES:
+                return _RateValue(1.0, passive=True)
+            if tok.text in self.rates:
+                v = self.rates[tok.text]
+                return _RateValue(v.value, v.passive)
+            raise PepaSyntaxError(
+                f"undefined rate constant {tok.text!r} at offset {tok.pos}"
+            )
+        if tok.text == "(":
+            v = self._rate_expr()
+            self.expect(")")
+            return v
+        if tok.text == "-":
+            v = self._rate_atom()
+            return _RateValue(-v.value, v.passive)
+        raise PepaSyntaxError(
+            f"rate expression expected at offset {tok.pos}, found {tok.text!r}"
+        )
+
+
+def parse_model(src: str) -> Model:
+    """Parse PEPA source into a :class:`~repro.pepa.syntax.Model`."""
+    return _Parser(src).parse_model()
+
+
+def parse_component(src: str, rates: dict[str, float] | None = None):
+    """Parse a single component expression (no definitions)."""
+    p = _Parser(src)
+    p.rates = {k: _RateValue(float(v)) for k, v in (rates or {}).items()}
+    comp = p._comp()
+    if p.peek().kind != "eof":
+        tok = p.peek()
+        raise PepaSyntaxError(f"trailing input at offset {tok.pos}: {tok.text!r}")
+    return comp

@@ -1,0 +1,93 @@
+"""Pretty-printer (unparser) for PEPA models.
+
+Produces source text that :func:`repro.pepa.parser.parse_model` reads back
+into a structurally identical model (rate constants are inlined as
+literals -- the AST does not retain their names).  Useful for inspecting
+the generated TAGS models, diffing encodings, and feeding our models to
+external PEPA tools.
+
+Precedence handling matches the parser: cooperation is loosest, then
+hiding, then choice, then prefix; parentheses are emitted only where
+required.
+"""
+
+from __future__ import annotations
+
+from repro.pepa.rates import Rate
+from repro.pepa.syntax import (
+    Choice,
+    Component,
+    Constant,
+    Cooperation,
+    Hiding,
+    Model,
+    Prefix,
+)
+
+__all__ = ["pretty_component", "pretty_model"]
+
+_PREC_COOP = 0
+_PREC_HIDE = 1
+_PREC_CHOICE = 2
+_PREC_PREFIX = 3
+
+
+def _rate_text(rate: Rate) -> str:
+    if rate.passive:
+        return "infty" if rate.value == 1.0 else f"{rate.value!r} * infty"
+    return repr(rate.value)
+
+
+def pretty_component(comp: Component) -> str:
+    """Render a component expression."""
+    text, _ = _render(comp)
+    return text
+
+
+def _render(comp: Component) -> tuple[str, int]:
+    """Return (text, precedence-of-top-operator)."""
+    if isinstance(comp, Constant):
+        return comp.name, _PREC_PREFIX
+    if isinstance(comp, Prefix):
+        inner, prec = _render(comp.continuation)
+        if prec < _PREC_PREFIX:
+            inner = f"({inner})"
+        a = comp.activity
+        return f"({a.action}, {_rate_text(a.rate)}).{inner}", _PREC_PREFIX
+    if isinstance(comp, Choice):
+        lt, lp = _render(comp.left)
+        rt, rp = _render(comp.right)
+        if lp < _PREC_CHOICE:
+            lt = f"({lt})"
+        # the parser is left-associative, so a right-nested choice needs
+        # explicit parentheses to survive the round trip
+        if rp < _PREC_CHOICE or isinstance(comp.right, Choice):
+            rt = f"({rt})"
+        return f"{lt} + {rt}", _PREC_CHOICE
+    if isinstance(comp, Hiding):
+        it, ip = _render(comp.component)
+        if ip < _PREC_HIDE:
+            it = f"({it})"
+        acts = ", ".join(sorted(comp.actions))
+        return f"{it} / {{{acts}}}", _PREC_HIDE
+    if isinstance(comp, Cooperation):
+        lt, lp = _render(comp.left)
+        rt, rp = _render(comp.right)
+        # cooperation is parsed left-associatively; parenthesise any
+        # cooperation on the right and keep the left bare
+        if lp < _PREC_HIDE and not isinstance(comp.left, Cooperation):
+            lt = f"({lt})"
+        if isinstance(comp.right, Cooperation) or rp < _PREC_HIDE:
+            rt = f"({rt})"
+        op = "||" if not comp.actions else f"<{', '.join(sorted(comp.actions))}>"
+        return f"{lt} {op} {rt}", _PREC_COOP
+    raise TypeError(f"not a PEPA component: {comp!r}")
+
+
+def pretty_model(model: Model) -> str:
+    """Render a whole model: definitions then the system equation."""
+    lines = []
+    for name, body in model.definitions.items():
+        lines.append(f"{name} = {pretty_component(body)};")
+    lines.append(f"{pretty_component(model.system)};")
+    return "\n".join(lines)

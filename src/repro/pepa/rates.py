@@ -1,0 +1,97 @@
+"""PEPA activity rates: active reals and weighted passive rates.
+
+PEPA rates are either a positive real (an *active* rate) or the distinguished
+*unspecified* symbol ``T`` (here :data:`PASSIVE`/:func:`top`), optionally
+weighted (``n T``) to bias probabilistic branching among passive activities.
+
+The arithmetic needed by the semantics:
+
+* addition (for apparent rates): actives add; passives add weights;
+  ``active + passive`` is ill-formed in an apparent-rate computation for a
+  single action type within one component (PEPA forbids mixing, we raise);
+* ``min`` (for cooperation): any active < any passive; two passives compare
+  by weight;
+* division by an apparent rate of the same kind (for the cooperation rate
+  formula).
+
+These operations implement the ``T``-calculus of Hillston's definition
+(1996, section 3.3.2 footnote): ``m T < n T`` iff ``m < n``,
+``m T + n T = (m + n) T``, ``m T / (n T) = m / n`` and ``r < n T`` for any
+real ``r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rate", "ACTIVE", "PASSIVE", "top", "MixedRateError"]
+
+
+class MixedRateError(TypeError):
+    """Raised when active and passive rates are mixed where PEPA forbids it."""
+
+
+@dataclass(frozen=True, slots=True)
+class Rate:
+    """An activity rate: ``value`` is the rate (active) or weight (passive)."""
+
+    value: float
+    passive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError(
+                f"{'weight' if self.passive else 'rate'} must be positive, "
+                f"got {self.value}"
+            )
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "Rate") -> "Rate":
+        if not isinstance(other, Rate):
+            return NotImplemented
+        if self.passive != other.passive:
+            raise MixedRateError(
+                "cannot mix active and passive rates for one action type "
+                "within a single component (ill-formed PEPA)"
+            )
+        return Rate(self.value + other.value, self.passive)
+
+    def __mul__(self, scalar: float) -> "Rate":
+        return Rate(self.value * scalar, self.passive)
+
+    __rmul__ = __mul__
+
+    def min_with(self, other: "Rate") -> "Rate":
+        """PEPA minimum: actives dominate passives."""
+        if self.passive and not other.passive:
+            return other
+        if other.passive and not self.passive:
+            return self
+        return self if self.value <= other.value else other
+
+    def ratio_to(self, apparent: "Rate") -> float:
+        """``self / apparent`` -- the branching proportion used in the
+        cooperation rate formula.  Both must be the same kind."""
+        if self.passive != apparent.passive:
+            raise MixedRateError("ratio of mixed rate kinds")
+        return self.value / apparent.value
+
+    # -- display -------------------------------------------------------
+    def __repr__(self) -> str:
+        if self.passive:
+            return "T" if self.value == 1.0 else f"{self.value:g}*T"
+        return f"{self.value:g}"
+
+
+def top(weight: float = 1.0) -> Rate:
+    """The passive rate ``weight * T``."""
+    return Rate(weight, passive=True)
+
+
+def ACTIVE(value: float) -> Rate:
+    """An active rate (convenience constructor)."""
+    return Rate(float(value), passive=False)
+
+
+PASSIVE = top()
+"""The unweighted passive rate ``T``."""

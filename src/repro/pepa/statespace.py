@@ -1,0 +1,167 @@
+"""Reachable state space of a PEPA model.
+
+Breadth-first exploration from the system equation.  Every reachable
+derivative becomes a CTMC state; the labelled multi-transitions are recorded
+as flat arrays ready for sparse-matrix assembly.
+
+Passive rates must have been closed off by cooperation by the time they
+reach the top level -- a reachable passive transition means the model is
+incomplete (some ``T`` never met an active partner) and raises
+:class:`PassiveRateError`, mirroring the PEPA Workbench's check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pepa.semantics import TransitionContext
+from repro.pepa.syntax import Component, Constant, Cooperation, Hiding, Model
+
+__all__ = ["StateSpace", "explore", "PassiveRateError"]
+
+
+class PassiveRateError(RuntimeError):
+    """A passive (unspecified) rate survived to the top level."""
+
+
+@dataclass
+class StateSpace:
+    """Explored labelled transition system of a PEPA model.
+
+    Attributes
+    ----------
+    states :
+        List of component expressions; index = CTMC state id.
+    index :
+        Reverse map component -> id.
+    src, dst, rate :
+        Parallel arrays of transitions (multi-transitions already summed
+        per (src, dst, action)).
+    action :
+        Python list of action names parallel to ``src``.
+    initial :
+        Id of the system equation's state (always 0).
+    """
+
+    states: list
+    index: dict
+    src: np.ndarray
+    dst: np.ndarray
+    rate: np.ndarray
+    action: list
+    model: Model
+    initial: int = 0
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_transitions(self) -> int:
+        return len(self.src)
+
+    def actions(self) -> set:
+        return set(self.action)
+
+    # ------------------------------------------------------------------
+    def local_states(self, state_id: int) -> tuple:
+        """The sequential components of a state, left-to-right (flattening
+        cooperation/hiding structure).  Useful for reward functions."""
+        out: list = []
+
+        def walk(c: Component) -> None:
+            if isinstance(c, Cooperation):
+                walk(c.left)
+                walk(c.right)
+            elif isinstance(c, Hiding):
+                walk(c.component)
+            else:
+                out.append(c)
+
+        walk(self.states[state_id])
+        return tuple(out)
+
+    def local_names(self, state_id: int) -> tuple:
+        """Names of the sequential components (Constants) of a state."""
+        return tuple(
+            c.name if isinstance(c, Constant) else repr(c)
+            for c in self.local_states(state_id)
+        )
+
+    def state_reward(self, fn) -> np.ndarray:
+        """Vectorise ``fn(local_names) -> float`` over all states."""
+        return np.array(
+            [fn(self.local_names(i)) for i in range(self.n_states)], dtype=float
+        )
+
+    def derivative_count(self, name: str) -> np.ndarray:
+        """Per-state count of sequential components equal to ``name``
+        (the quantity fluid analysis approximates)."""
+        return self.state_reward(lambda names: names.count(name))
+
+    def find_deadlocks(self) -> np.ndarray:
+        """State ids with no outgoing transitions."""
+        has_out = np.zeros(self.n_states, dtype=bool)
+        has_out[self.src] = True
+        return np.flatnonzero(~has_out)
+
+
+def explore(
+    model: Model,
+    *,
+    max_states: int = 2_000_000,
+) -> StateSpace:
+    """BFS exploration of the reachable derivatives of ``model.system``."""
+    ctx = TransitionContext(model)
+    index: dict = {model.system: 0}
+    states: list = [model.system]
+    src: list = []
+    dst: list = []
+    rates: list = []
+    actions: list = []
+
+    frontier = [0]
+    while frontier:
+        next_frontier: list = []
+        for sid in frontier:
+            state = states[sid]
+            # sum multi-transitions per (action, successor)
+            agg: dict = {}
+            for action, rate, succ in ctx.transitions(state):
+                if rate.passive:
+                    raise PassiveRateError(
+                        f"passive rate for action {action!r} reachable at the "
+                        f"top level in state {state!r}; the model is "
+                        "incomplete (a 'T' rate never synchronised with an "
+                        "active partner)"
+                    )
+                key = (action, succ)
+                agg[key] = agg.get(key, 0.0) + rate.value
+            for (action, succ), total in agg.items():
+                tid = index.get(succ)
+                if tid is None:
+                    tid = len(states)
+                    if tid >= max_states:
+                        raise MemoryError(
+                            f"state space exceeded max_states={max_states}"
+                        )
+                    index[succ] = tid
+                    states.append(succ)
+                    next_frontier.append(tid)
+                src.append(sid)
+                dst.append(tid)
+                rates.append(total)
+                actions.append(action)
+        frontier = next_frontier
+
+    return StateSpace(
+        states=states,
+        index=index,
+        src=np.asarray(src, dtype=np.int64),
+        dst=np.asarray(dst, dtype=np.int64),
+        rate=np.asarray(rates, dtype=np.float64),
+        action=actions,
+        model=model,
+    )

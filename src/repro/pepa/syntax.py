@@ -1,0 +1,163 @@
+"""PEPA abstract syntax.
+
+Components are immutable, hashable trees so they can serve directly as CTMC
+state descriptors during reachability exploration::
+
+    P ::= (alpha, r).P  |  P + Q  |  P/L  |  P <L> Q  |  A
+
+Design notes
+------------
+* ``Constant`` nodes are *not* unfolded structurally: a state keeps the name
+  ``Q1_3`` rather than its (possibly huge) definition body, which keeps
+  state hashing O(tree size) with small trees.
+* Cooperation/hiding sets are ``frozenset`` of action names.
+* ``TAU`` is the hidden action type; it can never appear in a cooperation
+  set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Union
+
+from repro.pepa.rates import Rate
+
+__all__ = [
+    "TAU",
+    "Activity",
+    "Component",
+    "Prefix",
+    "Choice",
+    "Cooperation",
+    "Hiding",
+    "Constant",
+    "Model",
+    "prefix_chain",
+]
+
+TAU = "tau"
+"""The silent action type produced by hiding."""
+
+
+@dataclass(frozen=True, slots=True)
+class Activity:
+    """An activity ``(action, rate)``."""
+
+    action: str
+    rate: Rate
+
+    def __repr__(self) -> str:
+        return f"({self.action}, {self.rate!r})"
+
+
+class Component:
+    """Base class for PEPA component expressions (marker only)."""
+
+    __slots__ = ()
+
+    # operator sugar -----------------------------------------------------
+    def __add__(self, other: "Component") -> "Choice":
+        return Choice(self, other)
+
+    def coop(self, other: "Component", actions: Iterable[str] = ()) -> "Cooperation":
+        """``self <actions> other``; empty set is the parallel combinator."""
+        return Cooperation(self, other, frozenset(actions))
+
+    def __or__(self, other: "Component") -> "Cooperation":
+        return self.coop(other)
+
+    def hide(self, actions: Iterable[str]) -> "Hiding":
+        return Hiding(self, frozenset(actions))
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Prefix(Component):
+    """``(alpha, r).P``"""
+
+    activity: Activity
+    continuation: "ComponentT"
+
+    def __repr__(self) -> str:
+        return f"{self.activity!r}.{self.continuation!r}"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Choice(Component):
+    """``P + Q``"""
+
+    left: "ComponentT"
+    right: "ComponentT"
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Cooperation(Component):
+    """``P <L> Q`` -- synchronise on the action types in ``L``."""
+
+    left: "ComponentT"
+    right: "ComponentT"
+    actions: frozenset
+
+    def __post_init__(self) -> None:
+        if TAU in self.actions:
+            raise ValueError("tau cannot appear in a cooperation set")
+
+    def __repr__(self) -> str:
+        acts = ",".join(sorted(self.actions))
+        return f"({self.left!r} <{acts}> {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Hiding(Component):
+    """``P / L`` -- actions in ``L`` become ``tau``."""
+
+    component: "ComponentT"
+    actions: frozenset
+
+    def __repr__(self) -> str:
+        acts = ",".join(sorted(self.actions))
+        return f"({self.component!r}/{{{acts}}})"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Constant(Component):
+    """A named component ``A`` defined by ``A = P`` in the model."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+ComponentT = Union[Prefix, Choice, Cooperation, Hiding, Constant]
+
+
+@dataclass(frozen=True)
+class Model:
+    """A PEPA model: definitions plus the system equation.
+
+    ``definitions`` maps constant names to component bodies; ``system`` is
+    the model equation whose derivatives form the CTMC state space.
+    """
+
+    definitions: Mapping[str, ComponentT]
+    system: ComponentT
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "definitions", dict(self.definitions))
+
+    def resolve(self, name: str) -> ComponentT:
+        try:
+            return self.definitions[name]
+        except KeyError:
+            raise KeyError(f"undefined PEPA constant {name!r}") from None
+
+
+def prefix_chain(*activities: Activity, then: ComponentT) -> ComponentT:
+    """Build ``(a1).(a2)...(ak).then`` from a list of activities."""
+    comp = then
+    for act in reversed(activities):
+        comp = Prefix(act, comp)
+    return comp

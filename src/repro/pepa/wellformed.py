@@ -1,0 +1,213 @@
+"""Static well-formedness checks on PEPA models.
+
+Checks performed by :func:`check_model`:
+
+* every constant used is defined;
+* recursion is prefix-guarded (no ``A = A + ...`` style unguarded cycles);
+* cooperation sets only mention actions that at least one side can ever
+  perform (a warning-level finding: legal PEPA, but almost always a typo --
+  e.g. misspelling ``service1`` would silently decouple the timer);
+* no action type is enabled with mixed active/passive rates within a
+  sequential component.
+
+These mirror the checks the PEPA Workbench runs before derivation and would
+have caught the Figure 3/Figure 4 cooperation-set discrepancy discussed in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pepa.syntax import (
+    Choice,
+    Component,
+    Constant,
+    Cooperation,
+    Hiding,
+    Model,
+    Prefix,
+)
+
+__all__ = ["check_model", "WellFormednessError", "alphabet", "used_constants"]
+
+
+class WellFormednessError(ValueError):
+    """A hard well-formedness violation."""
+
+
+@dataclass
+class CheckReport:
+    """Findings from :func:`check_model`."""
+
+    warnings: list = field(default_factory=list)
+
+    def warn(self, msg: str) -> None:
+        self.warnings.append(msg)
+
+
+def used_constants(comp: Component) -> set:
+    """All constant names referenced in a component expression."""
+    out: set = set()
+    stack = [comp]
+    while stack:
+        c = stack.pop()
+        if isinstance(c, Constant):
+            out.add(c.name)
+        elif isinstance(c, Prefix):
+            stack.append(c.continuation)
+        elif isinstance(c, Choice):
+            stack.extend((c.left, c.right))
+        elif isinstance(c, Cooperation):
+            stack.extend((c.left, c.right))
+        elif isinstance(c, Hiding):
+            stack.append(c.component)
+    return out
+
+
+def alphabet(comp: Component, model: Model, _seen: set | None = None) -> set:
+    """Action types a component could ever perform (syntactic closure over
+    constants and derivative continuations; hiding masks its set)."""
+    seen = set() if _seen is None else _seen
+    out: set = set()
+    stack = [comp]
+    while stack:
+        c = stack.pop()
+        if isinstance(c, Constant):
+            if c.name in seen:
+                continue
+            seen.add(c.name)
+            stack.append(model.resolve(c.name))
+        elif isinstance(c, Prefix):
+            out.add(c.activity.action)
+            stack.append(c.continuation)
+        elif isinstance(c, Choice):
+            stack.extend((c.left, c.right))
+        elif isinstance(c, Cooperation):
+            stack.extend((c.left, c.right))
+        elif isinstance(c, Hiding):
+            inner = alphabet(c.component, model, seen)
+            out |= inner - c.actions
+    return out
+
+
+def _check_guarded(model: Model) -> None:
+    """Unguarded recursion: a cycle through constants reachable without
+    passing a prefix."""
+
+    def immediate(comp: Component) -> set:
+        """Constants reachable without crossing a prefix."""
+        out: set = set()
+        stack = [comp]
+        while stack:
+            c = stack.pop()
+            if isinstance(c, Constant):
+                out.add(c.name)
+            elif isinstance(c, Choice):
+                stack.extend((c.left, c.right))
+            elif isinstance(c, Cooperation):
+                stack.extend((c.left, c.right))
+            elif isinstance(c, Hiding):
+                stack.append(c.component)
+            # Prefix: guarded -- stop
+        return out
+
+    graph = {name: immediate(body) for name, body in model.definitions.items()}
+    # DFS cycle detection
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in graph}
+
+    def visit(name: str, path: list) -> None:
+        colour[name] = GREY
+        path.append(name)
+        for nxt in graph.get(name, ()):  # undefined names caught elsewhere
+            if nxt not in colour:
+                continue
+            if colour[nxt] == GREY:
+                cycle = " -> ".join(path[path.index(nxt):] + [nxt])
+                raise WellFormednessError(f"unguarded recursion: {cycle}")
+            if colour[nxt] == WHITE:
+                visit(nxt, path)
+        path.pop()
+        colour[name] = BLACK
+
+    for name in graph:
+        if colour[name] == WHITE:
+            visit(name, [])
+
+
+def _check_mixed_rates(model: Model, report: CheckReport) -> None:
+    """Within each definition body, one action type must not appear with
+    both active and passive rates among the immediately enabled activities
+    of any choice context."""
+
+    def immediate_activities(comp: Component, acc: list) -> None:
+        if isinstance(comp, Prefix):
+            acc.append(comp.activity)
+        elif isinstance(comp, Choice):
+            immediate_activities(comp.left, acc)
+            immediate_activities(comp.right, acc)
+        # constants/cooperations have their own scopes
+
+    for name, body in model.definitions.items():
+        acts: list = []
+        immediate_activities(body, acts)
+        kinds: dict = {}
+        for a in acts:
+            prev = kinds.setdefault(a.action, a.rate.passive)
+            if prev != a.rate.passive:
+                raise WellFormednessError(
+                    f"definition {name!r} enables action {a.action!r} with "
+                    "both active and passive rates"
+                )
+
+
+def check_model(model: Model) -> CheckReport:
+    """Run all checks; raises :class:`WellFormednessError` on hard errors
+    and returns a report carrying warnings."""
+    report = CheckReport()
+
+    # undefined constants
+    referenced: set = set(used_constants(model.system))
+    for body in model.definitions.values():
+        referenced |= used_constants(body)
+    undefined = referenced - set(model.definitions)
+    if undefined:
+        raise WellFormednessError(
+            f"undefined constant(s): {', '.join(sorted(undefined))}"
+        )
+
+    _check_guarded(model)
+    _check_mixed_rates(model, report)
+
+    # cooperation sets vs alphabets
+    def walk(comp: Component) -> None:
+        if isinstance(comp, Cooperation):
+            left_alpha = alphabet(comp.left, model)
+            right_alpha = alphabet(comp.right, model)
+            for act in sorted(comp.actions):
+                if act not in left_alpha and act not in right_alpha:
+                    report.warn(
+                        f"cooperation set mentions {act!r} but neither side "
+                        "can ever perform it"
+                    )
+                elif act not in left_alpha or act not in right_alpha:
+                    side = "left" if act not in left_alpha else "right"
+                    report.warn(
+                        f"cooperation on {act!r} permanently blocks: the "
+                        f"{side} side never performs it"
+                    )
+            walk(comp.left)
+            walk(comp.right)
+        elif isinstance(comp, Hiding):
+            walk(comp.component)
+        elif isinstance(comp, Choice):
+            walk(comp.left)
+            walk(comp.right)
+        elif isinstance(comp, Prefix):
+            walk(comp.continuation)
+
+    walk(model.system)
+    for body in model.definitions.values():
+        walk(body)
+    return report

@@ -1,0 +1,116 @@
+"""Allocation policies for the simulator.
+
+A policy answers three questions:
+
+* ``route(queue_lengths, rng)`` -- which node does a fresh arrival join?
+* ``timeout(node)`` -- the timeout sampler for that node (``None`` = serve
+  to exhaustion);
+* ``forward(node)`` -- where a timed-out job restarts (``None`` = dropped).
+
+TAGS is the only policy that uses timeouts/forwarding; random, round-robin
+and JSQ run every job to completion where it lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TagsPolicy", "RandomPolicy", "RoundRobinPolicy", "JSQPolicy"]
+
+
+@dataclass
+class TagsPolicy:
+    """All arrivals join node 0; node ``i`` kills at ``timeouts[i]`` and
+    moves the job to node ``i+1``; the last node has no timeout.
+
+    ``resume=False`` (default) is TAGS proper: the moved job restarts from
+    scratch, all work lost.  ``resume=True`` is the multi-level-feedback
+    variant the paper's introduction contrasts with (and whose comparison
+    Section 6 calls an open problem): the job continues from where it was
+    killed.
+    """
+
+    timeouts: tuple  # len = n_nodes - 1, of timeout samplers
+    resume: bool = False
+
+    def n_nodes(self) -> int:
+        return len(self.timeouts) + 1
+
+    def route(self, queue_lengths, rng) -> int:
+        return 0
+
+    def timeout(self, node: int):
+        return self.timeouts[node] if node < len(self.timeouts) else None
+
+    def forward(self, node: int):
+        return node + 1 if node < len(self.timeouts) else None
+
+
+@dataclass
+class RandomPolicy:
+    """Probabilistic split (Appendix A)."""
+
+    weights: tuple = (0.5, 0.5)
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.weights, dtype=float)
+        if w.min() < 0 or abs(w.sum() - 1.0) > 1e-9:
+            raise ValueError("weights must be a probability vector")
+        self._w = w
+
+    def n_nodes(self) -> int:
+        return len(self.weights)
+
+    def route(self, queue_lengths, rng) -> int:
+        return int(rng.choice(len(self._w), p=self._w))
+
+    def timeout(self, node: int):
+        return None
+
+    def forward(self, node: int):
+        return None
+
+
+@dataclass
+class RoundRobinPolicy:
+    """Cyclic assignment."""
+
+    nodes: int = 2
+    _next: int = field(default=0, repr=False)
+
+    def n_nodes(self) -> int:
+        return self.nodes
+
+    def route(self, queue_lengths, rng) -> int:
+        node = self._next
+        self._next = (self._next + 1) % self.nodes
+        return node
+
+    def timeout(self, node: int):
+        return None
+
+    def forward(self, node: int):
+        return None
+
+
+@dataclass
+class JSQPolicy:
+    """Join the shortest queue; ties broken uniformly (Appendix B)."""
+
+    nodes: int = 2
+
+    def n_nodes(self) -> int:
+        return self.nodes
+
+    def route(self, queue_lengths, rng) -> int:
+        q = np.asarray(queue_lengths[: self.nodes])
+        shortest = np.flatnonzero(q == q.min())
+        return int(shortest[0] if len(shortest) == 1 else rng.choice(shortest))
+
+    def timeout(self, node: int):
+        return None
+
+    def forward(self, node: int):
+        return None

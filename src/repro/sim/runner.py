@@ -1,0 +1,368 @@
+"""The discrete-event engine and replication driver.
+
+Semantics (true kill-and-restart TAGS, not the CTMC approximation):
+
+* a job draws a single service **demand** on arrival and keeps it for life;
+* at a node the head job is served FCFS at unit speed; if the node has a
+  timeout, a duration is drawn from the timeout sampler at *service start*
+  and the job is killed when it fires first -- all prior work is lost;
+* a killed job restarts (same demand, from scratch) at the policy's
+  forward node, or is dropped if that node is full -- the paper's "lost at
+  node 2 after completing a timed-out service" case; policies with
+  ``resume=True`` (the multi-level-feedback variant of the paper's
+  Section 6 open problem) carry the remaining work over instead;
+* queues are bounded: an arrival routed to a full node is dropped.
+
+Because nothing preempts the head job, the winner of the service/timeout
+race is known at service start and exactly one future event per busy node
+is ever scheduled -- no event cancellation is needed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.stats import TimeAverage, batch_means_ci
+
+__all__ = ["Simulation", "SimulationResult", "replicate", "replicate_until"]
+
+
+@dataclass
+class _Job:
+    arrival_time: float
+    demand: float
+    remaining: float = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.remaining is None:
+            self.remaining = self.demand
+
+
+@dataclass
+class SimulationResult:
+    """Post-warm-up measurements of one run.
+
+    ``demands`` is aligned with ``response_times``/``slowdowns`` (one entry
+    per completed job), enabling per-size-class analysis -- TAGS's whole
+    purpose is to treat short and long jobs differently, and
+    Harchol-Balter's evaluation revolves around slowdown by job size.
+    """
+
+    duration: float
+    offered: int
+    completed: int
+    dropped_arrival: int
+    dropped_forward: int
+    mean_queue_lengths: tuple
+    response_times: np.ndarray
+    slowdowns: np.ndarray
+    demands: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.duration
+
+    @property
+    def offered_rate(self) -> float:
+        return self.offered / self.duration
+
+    @property
+    def loss_probability(self) -> float:
+        total = self.dropped_arrival + self.dropped_forward
+        return total / self.offered if self.offered else 0.0
+
+    @property
+    def mean_jobs(self) -> float:
+        return float(sum(self.mean_queue_lengths))
+
+    @property
+    def mean_response_time(self) -> float:
+        return float(self.response_times.mean()) if self.response_times.size else 0.0
+
+    @property
+    def mean_slowdown(self) -> float:
+        return float(self.slowdowns.mean()) if self.slowdowns.size else 0.0
+
+    def response_time_ci(self, n_batches: int = 20) -> tuple:
+        return batch_means_ci(self.response_times, n_batches)
+
+    # -- per-size-class views ------------------------------------------
+    def class_mask(self, threshold: float) -> np.ndarray:
+        """Boolean mask of *short* completed jobs (demand <= threshold)."""
+        if self.demands.size != self.response_times.size:
+            raise ValueError("this result carries no per-job demands")
+        return self.demands <= threshold
+
+    def mean_slowdown_by_class(self, threshold: float) -> tuple:
+        """(short-job mean slowdown, long-job mean slowdown)."""
+        short = self.class_mask(threshold)
+        s = float(self.slowdowns[short].mean()) if short.any() else float("nan")
+        l = (
+            float(self.slowdowns[~short].mean())
+            if (~short).any()
+            else float("nan")
+        )
+        return s, l
+
+    def mean_response_by_class(self, threshold: float) -> tuple:
+        """(short-job mean response, long-job mean response)."""
+        short = self.class_mask(threshold)
+        s = (
+            float(self.response_times[short].mean())
+            if short.any()
+            else float("nan")
+        )
+        l = (
+            float(self.response_times[~short].mean())
+            if (~short).any()
+            else float("nan")
+        )
+        return s, l
+
+    def slowdown_percentile(self, q: float) -> float:
+        """Slowdown percentile (q in [0, 100])."""
+        if self.slowdowns.size == 0:
+            return float("nan")
+        return float(np.percentile(self.slowdowns, q))
+
+
+class Simulation:
+    """One simulation run of a policy over bounded FCFS nodes.
+
+    Parameters
+    ----------
+    arrivals :
+        Arrival process (``next_interarrival``).
+    demand :
+        Service-demand distribution (``sample``).
+    policy :
+        Routing/timeout policy.
+    capacities :
+        Per-node capacity (queue + server).
+    """
+
+    def __init__(
+        self,
+        arrivals,
+        demand,
+        policy,
+        capacities,
+        *,
+        seed: int = 0,
+        speeds=None,
+    ) -> None:
+        self.arrivals = arrivals
+        self.demand = demand
+        self.policy = policy
+        self.capacities = tuple(int(k) for k in capacities)
+        if len(self.capacities) != policy.n_nodes():
+            raise ValueError(
+                f"policy expects {policy.n_nodes()} nodes, got "
+                f"{len(self.capacities)} capacities"
+            )
+        if min(self.capacities) < 1:
+            raise ValueError("capacities must be >= 1")
+        if speeds is None:
+            self.speeds = (1.0,) * len(self.capacities)
+        else:
+            self.speeds = tuple(float(s) for s in speeds)
+            if len(self.speeds) != len(self.capacities):
+                raise ValueError("need one speed per node")
+            if min(self.speeds) <= 0:
+                raise ValueError("speeds must be positive")
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def run(self, t_end: float, warmup: float = 0.0) -> SimulationResult:
+        if t_end <= warmup:
+            raise ValueError("t_end must exceed warmup")
+        rng = self.rng
+        n_nodes = len(self.capacities)
+        queues = [deque() for _ in range(n_nodes)]
+        q_avg = [TimeAverage() for _ in range(n_nodes)]
+        heap: list = []
+        seq = 0
+
+        offered = completed = dropped_arrival = dropped_forward = 0
+        responses: list = []
+        slowdowns: list = []
+        demands: list = []
+        warm = False
+
+        def push(time: float, kind: str, node: int, payload=None):
+            nonlocal seq
+            heapq.heappush(heap, (time, seq, kind, node, payload))
+            seq += 1
+
+        def start_service(now: float, node: int) -> None:
+            """Schedule the race outcome for the new head job.
+
+            A node of speed ``s`` finishes a demand-``D`` job in ``D/s``
+            wall time; the timeout races that wall-clock duration.  Under
+            resume policies the job's *remaining* work is what is served
+            (and decremented on a kill); under restart the remaining work
+            is re-set to the full demand, so prior service is lost.
+            """
+            job = queues[node][0]
+            resume = getattr(self.policy, "resume", False)
+            work = job.remaining if resume else job.demand
+            wall = work / self.speeds[node]
+            sampler = self.policy.timeout(node)
+            if sampler is None:
+                push(now + wall, "complete", node)
+                return
+            tau = sampler.sample(rng)
+            if wall <= tau:
+                push(now + wall, "complete", node)
+            else:
+                if resume:
+                    job.remaining = work - tau * self.speeds[node]
+                push(now + tau, "kill", node)
+
+        def note_queue(now: float, node: int) -> None:
+            q_avg[node].update(now, len(queues[node]))
+
+        push(self.arrivals.next_interarrival(rng), "arrival", -1)
+        now = 0.0
+        while heap:
+            now, _, kind, node, payload = heapq.heappop(heap)
+            if now > t_end:
+                break
+            if not warm and now >= warmup:
+                warm = True
+                for node_i in range(n_nodes):
+                    q_avg[node_i].reset(now, len(queues[node_i]))
+                offered = completed = dropped_arrival = dropped_forward = 0
+                responses.clear()
+                slowdowns.clear()
+                demands.clear()
+
+            if kind == "arrival":
+                push(now + self.arrivals.next_interarrival(rng), "arrival", -1)
+                offered += 1
+                job = _Job(now, float(self.demand.sample(1, rng)[0]))
+                target = self.policy.route(
+                    [len(q) for q in queues], rng
+                )
+                if len(queues[target]) >= self.capacities[target]:
+                    dropped_arrival += 1
+                    continue
+                queues[target].append(job)
+                note_queue(now, target)
+                if len(queues[target]) == 1:
+                    start_service(now, target)
+
+            elif kind == "complete":
+                job = queues[node].popleft()
+                note_queue(now, node)
+                completed += 1
+                responses.append(now - job.arrival_time)
+                slowdowns.append((now - job.arrival_time) / job.demand)
+                demands.append(job.demand)
+                if queues[node]:
+                    start_service(now, node)
+
+            elif kind == "kill":
+                job = queues[node].popleft()
+                note_queue(now, node)
+                target = self.policy.forward(node)
+                if target is None or len(queues[target]) >= self.capacities[target]:
+                    dropped_forward += 1
+                else:
+                    queues[target].append(job)
+                    note_queue(now, target)
+                    if len(queues[target]) == 1:
+                        start_service(now, target)
+                if queues[node]:
+                    start_service(now, node)
+            else:  # pragma: no cover
+                raise AssertionError(kind)
+
+        duration = max(t_end - warmup, 1e-12)
+        return SimulationResult(
+            duration=duration,
+            offered=offered,
+            completed=completed,
+            dropped_arrival=dropped_arrival,
+            dropped_forward=dropped_forward,
+            mean_queue_lengths=tuple(a.mean(t_end) for a in q_avg),
+            response_times=np.asarray(responses),
+            slowdowns=np.asarray(slowdowns),
+            demands=np.asarray(demands),
+        )
+
+
+def replicate(
+    make_simulation,
+    n_reps: int = 5,
+    t_end: float = 5000.0,
+    warmup: float = 500.0,
+):
+    """Run ``n_reps`` independent replications.
+
+    ``make_simulation(seed)`` builds a fresh :class:`Simulation`.  Returns
+    a dict of arrays keyed by metric, plus convenience means.
+    """
+    metrics = {
+        "throughput": [],
+        "mean_jobs": [],
+        "mean_response_time": [],
+        "mean_slowdown": [],
+        "loss_probability": [],
+    }
+    for rep in range(n_reps):
+        res = make_simulation(rep).run(t_end, warmup)
+        for key in metrics:
+            metrics[key].append(getattr(res, key))
+    out = {k: np.asarray(v) for k, v in metrics.items()}
+    out["means"] = {k: float(v.mean()) for k, v in out.items()}
+    return out
+
+
+def replicate_until(
+    make_simulation,
+    metric: str = "mean_response_time",
+    *,
+    rel_half_width: float = 0.05,
+    confidence: float = 0.95,
+    min_reps: int = 4,
+    max_reps: int = 64,
+    t_end: float = 5000.0,
+    warmup: float = 500.0,
+):
+    """Run independent replications until the metric's confidence interval
+    is tight enough.
+
+    Returns ``(mean, half_width, n_reps)`` where ``half_width`` is the
+    t-based CI half-width over replications.  Replication-based CIs are
+    statistically cleaner than batch means (true independence) at the cost
+    of re-paying the warm-up per replication; this is the recommended way
+    to produce publishable simulation numbers from this package.
+    """
+    from scipy.stats import t as t_dist
+
+    if not (0 < rel_half_width):
+        raise ValueError("rel_half_width must be positive")
+    if min_reps < 2:
+        raise ValueError("need at least two replications for a CI")
+    values: list = []
+    for rep in range(max_reps):
+        res = make_simulation(rep).run(t_end, warmup)
+        values.append(float(getattr(res, metric)))
+        if len(values) < min_reps:
+            continue
+        arr = np.asarray(values)
+        mean = float(arr.mean())
+        se = float(arr.std(ddof=1)) / np.sqrt(len(arr))
+        half = float(t_dist.ppf(0.5 + confidence / 2, len(arr) - 1)) * se
+        if mean != 0 and half / abs(mean) <= rel_half_width:
+            return mean, half, len(values)
+    arr = np.asarray(values)
+    mean = float(arr.mean())
+    se = float(arr.std(ddof=1)) / np.sqrt(len(arr))
+    half = float(t_dist.ppf(0.5 + confidence / 2, len(arr) - 1)) * se
+    return mean, half, len(values)

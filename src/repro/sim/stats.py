@@ -1,0 +1,71 @@
+"""Online statistics for the simulator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["TimeAverage", "batch_means_ci"]
+
+
+class TimeAverage:
+    """Time-weighted average of a piecewise-constant signal (queue
+    lengths, busy indicators)."""
+
+    def __init__(self) -> None:
+        self._last_t = 0.0
+        self._last_v = 0.0
+        self._area = 0.0
+        self._t0 = 0.0
+
+    def reset(self, t: float, value: float | None = None) -> None:
+        """Discard history (warm-up end)."""
+        if value is not None:
+            self._last_v = value
+        self._last_t = t
+        self._t0 = t
+        self._area = 0.0
+
+    def update(self, t: float, value: float) -> None:
+        if t < self._last_t:
+            raise ValueError("time went backwards")
+        self._area += self._last_v * (t - self._last_t)
+        self._last_t = t
+        self._last_v = value
+
+    def mean(self, t_end: float | None = None) -> float:
+        t = self._last_t if t_end is None else t_end
+        area = self._area + self._last_v * (t - self._last_t)
+        span = t - self._t0
+        return area / span if span > 0 else 0.0
+
+    @property
+    def current(self) -> float:
+        return self._last_v
+
+
+def batch_means_ci(
+    samples, n_batches: int = 20, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Mean and half-width of a batch-means confidence interval.
+
+    Splits the (autocorrelated) sample stream into ``n_batches`` contiguous
+    batches; batch means are treated as approximately iid normal.  Returns
+    ``(mean, half_width)``.
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.size < 2 * n_batches:
+        raise ValueError(
+            f"need at least {2 * n_batches} samples for {n_batches} batches, "
+            f"got {x.size}"
+        )
+    usable = (x.size // n_batches) * n_batches
+    means = x[:usable].reshape(n_batches, -1).mean(axis=1)
+    grand = float(means.mean())
+    se = float(means.std(ddof=1)) / math.sqrt(n_batches)
+    # t-quantile via scipy
+    from scipy.stats import t as t_dist
+
+    half = float(t_dist.ppf(0.5 + confidence / 2.0, n_batches - 1)) * se
+    return grand, half

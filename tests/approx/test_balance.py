@@ -1,0 +1,88 @@
+"""Section 4 balance-equation tests against the paper's quoted numbers."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    erlang_balance_rate,
+    exponential_balance_rate,
+    expected_race_duration,
+    timeout_win_probability,
+)
+from repro.approx.balance import erlang_balance_residual
+
+
+class TestTimeoutWinProbability:
+    def test_exponential_case(self):
+        assert timeout_win_probability(3.0, 7.0, 1) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            timeout_win_probability(-1.0, 1.0, 1)
+
+
+class TestExpectedRaceDuration:
+    def test_closed_form_vs_quadrature(self):
+        t, mu, n = 40.0, 10.0, 6
+        us = np.linspace(0, 3, 300_000)
+        # P[min > u] = P[Erlang > u] P[Exp > u]
+        from scipy.stats import gamma
+
+        surv = gamma.sf(us, n, scale=1 / t) * np.exp(-mu * us)
+        assert expected_race_duration(t, mu, n) == pytest.approx(
+            np.trapezoid(surv, us), rel=1e-4
+        )
+
+    def test_no_timeout_limit(self):
+        # clock far slower than service: race duration -> mean service
+        assert expected_race_duration(1e-6, 10.0, 3) == pytest.approx(0.1, rel=1e-4)
+
+    def test_instant_timeout_limit(self):
+        assert expected_race_duration(1e9, 10.0, 1) < 1e-6
+
+
+class TestExponentialBalance:
+    def test_paper_value(self):
+        """mu = 10 -> T ~= 6.17 (paper); exact root is 10(sqrt5-1)/2."""
+        T = exponential_balance_rate(10.0)
+        assert T == pytest.approx(6.18, abs=0.01)
+
+    def test_satisfies_equation(self):
+        mu = 7.3
+        T = exponential_balance_rate(mu)
+        assert mu**2 == pytest.approx(T**2 + T * mu)
+
+    def test_scales_linearly(self):
+        assert exponential_balance_rate(20.0) == pytest.approx(
+            2 * exponential_balance_rate(10.0)
+        )
+
+
+class TestErlangBalance:
+    def test_n1_equals_exponential(self):
+        mu = 10.0
+        assert erlang_balance_rate(mu, 1) == pytest.approx(
+            exponential_balance_rate(mu), rel=1e-9
+        )
+
+    def test_residual_zero_at_root(self):
+        mu, n = 10.0, 6
+        t = erlang_balance_rate(mu, n)
+        assert erlang_balance_residual(t, mu, n) == pytest.approx(0.0, abs=1e-12)
+
+    def test_total_rate_tends_to_nine(self):
+        """Paper: 'the total timeout rate will increase, tending to a value
+        of around 9 when mu = 10'."""
+        rates = [erlang_balance_rate(10.0, n) / n for n in (1, 2, 6, 50, 400)]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+        assert rates[-1] == pytest.approx(8.72, abs=0.05)
+
+    def test_n6_matches_paper_optimal_band(self):
+        """The paper's numerically optimal integer t at n=6 lies in 42..51;
+        the balance estimate must land in that band."""
+        t = erlang_balance_rate(10.0, 6)
+        assert 42.0 <= t <= 51.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_balance_rate(-1.0, 3)

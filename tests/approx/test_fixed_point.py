@@ -1,0 +1,67 @@
+"""Bounded-queue fixed-point approximation tests against the exact CTMC."""
+
+import pytest
+
+from repro.approx import TagsFixedPoint
+from repro.models import TagsExponential
+
+
+class TestStructure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TagsFixedPoint(lam=-1.0)
+        with pytest.raises(ValueError):
+            TagsFixedPoint(n=0)
+
+    def test_node2_arrival_rate_formula(self):
+        """lam2 = (lam - l) p, the paper's expression."""
+        fp = TagsFixedPoint(lam=5, mu=10, t=51, n=6)
+        p = fp.timeout_probability
+        n1 = fp.node1()
+        assert fp.node2().lam == pytest.approx((5 - n1.loss_rate) * p)
+
+    def test_node2_service_time(self):
+        fp = TagsFixedPoint(lam=5, mu=10, t=51, n=6)
+        assert 1.0 / fp.node2().mu == pytest.approx(6 / 51 + 1 / 10)
+
+
+class TestAgainstExactCTMC:
+    @pytest.mark.parametrize("lam", [5.0, 7.0, 9.0])
+    def test_population_within_thirty_percent(self, lam):
+        fp = TagsFixedPoint(lam=lam, mu=10, t=45, n=6).metrics()
+        ex = TagsExponential(lam=lam, mu=10, t=45, n=6).metrics()
+        assert fp.mean_jobs == pytest.approx(ex.mean_jobs, rel=0.3)
+
+    def test_throughput_close(self):
+        fp = TagsFixedPoint(lam=9, mu=10, t=45, n=6).metrics()
+        ex = TagsExponential(lam=9, mu=10, t=45, n=6).metrics()
+        assert fp.throughput == pytest.approx(ex.throughput, rel=0.02)
+
+    def test_timeout_probability_matches_flow(self):
+        """The decomposition's p matches the exact chain's timeout share of
+        node-1 departures."""
+        ex = TagsExponential(lam=5, mu=10, t=51, n=6).metrics()
+        share = ex.extra["timeout_throughput"] / (
+            ex.extra["timeout_throughput"] + ex.extra["service1_throughput"]
+        )
+        fp = TagsFixedPoint(lam=5, mu=10, t=51, n=6)
+        assert fp.timeout_probability == pytest.approx(share, rel=1e-6)
+
+    def test_approximation_tracks_shape_under_overload(self):
+        """Where Section 4 matters (losses significant, lam=11 > mu=10) the
+        fixed point must reproduce the hump shape of throughput in t."""
+        def exact(t):
+            return TagsExponential(lam=11, mu=10, t=t, n=6).metrics().throughput
+
+        def approx(t):
+            return TagsFixedPoint(lam=11, mu=10, t=t, n=6).metrics().throughput
+
+        for a, b in [(5.0, 42.0), (500.0, 42.0)]:
+            assert exact(a) < exact(b)
+            assert approx(a) < approx(b)
+
+    def test_throughput_accuracy_under_overload(self):
+        for t in (5.0, 42.0, 500.0):
+            fp = TagsFixedPoint(lam=11, mu=10, t=t, n=6).metrics()
+            ex = TagsExponential(lam=11, mu=10, t=t, n=6).metrics()
+            assert fp.throughput == pytest.approx(ex.throughput, rel=0.02)

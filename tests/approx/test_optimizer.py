@@ -1,0 +1,73 @@
+"""Timeout-optimiser tests, including the paper's Figure 8 optima."""
+
+import pytest
+
+from repro.approx import TagsFixedPoint, optimise_timeout
+from repro.models import TagsExponential
+
+
+class TestOnFixedPoint:
+    def test_throughput_optimum_matches_exact(self):
+        """Under overload (lam=11 > mu=10) the fixed point locates the
+        throughput-optimal timeout within a couple of units of the exact
+        CTMC optimum (~52.7)."""
+        res = optimise_timeout(
+            lambda t: TagsFixedPoint(lam=11, mu=10, t=t, n=6),
+            "throughput",
+            t_min=2.0,
+            t_max=300.0,
+        )
+        assert 48.0 <= res.t_opt <= 58.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            optimise_timeout(lambda t: TagsFixedPoint(t=t), "nope")
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            optimise_timeout(lambda t: TagsFixedPoint(t=t), t_min=5.0, t_max=1.0)
+
+
+class TestOnExactModel:
+    @pytest.mark.parametrize(
+        "lam,paper_t",
+        [(5.0, 51), (7.0, 49), (9.0, 45), (11.0, 42)],
+        ids=["lam5", "lam7", "lam9", "lam11"],
+    )
+    def test_figure8_integer_optima(self, lam, paper_t):
+        """Paper Figure 8: 'the optimal (integer) values of t being 42, 45,
+        49 and 51 (for lam = 11, 9, 7 and 5 respectively)', optimised for
+        minimum queue length."""
+        best_t = None
+        best_v = float("inf")
+        for t in range(30, 65):
+            v = TagsExponential(lam=lam, mu=10, t=float(t), n=6).metrics().mean_jobs
+            if v < best_v:
+                best_t, best_v = t, v
+        # our encoding reproduces 51 and 42 exactly and is within one unit
+        # at the intermediate loads (we get 48 and 46 for the paper's 49
+        # and 45) -- see EXPERIMENTS.md
+        assert abs(best_t - paper_t) <= 1
+
+    def test_throughput_metric_maximises(self):
+        res = optimise_timeout(
+            lambda t: TagsExponential(lam=11, mu=10, t=t, n=6, K1=6, K2=6),
+            "throughput",
+            t_min=5.0,
+            t_max=200.0,
+            grid_points=12,
+        )
+        # optimum beats both a badly short and a badly long timeout
+        lo = TagsExponential(lam=11, mu=10, t=5.0, n=6, K1=6, K2=6).metrics()
+        hi = TagsExponential(lam=11, mu=10, t=200.0, n=6, K1=6, K2=6).metrics()
+        assert res.value >= lo.throughput
+        assert res.value >= hi.throughput
+
+    def test_grid_only_mode(self):
+        res = optimise_timeout(
+            lambda t: TagsFixedPoint(lam=5, mu=10, t=t, n=6),
+            "mean_jobs",
+            refine=False,
+            grid_points=10,
+        )
+        assert res.t_opt in res.grid_t

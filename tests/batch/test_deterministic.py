@@ -1,0 +1,110 @@
+"""Section 1 worked-example tests -- every number the paper quotes."""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    optimal_batch_timeout,
+    tags_batch_completion_times,
+    tags_batch_mean_response,
+)
+
+JOBS = [4.0, 5.0, 6.0, 7.0, 3.0, 2.0]
+JOBS_HEAVY = [99.0, 5.0, 6.0, 7.0, 3.0, 2.0]
+
+
+class TestPaperNumbers:
+    def test_no_timeout_17(self):
+        """'If there is no timeout set ... the average response time would
+        be 17 seconds.'"""
+        assert tags_batch_mean_response(JOBS, ()) == pytest.approx(17.0)
+
+    def test_everything_times_out_18_5(self):
+        """'If the timeout is increased to 1.5 seconds ... the average
+        response time being 18.5 seconds.'"""
+        assert tags_batch_mean_response(JOBS, (1.5,)) == pytest.approx(18.5)
+
+    def test_timeout_3_5_gives_16_67(self):
+        """'If the timeout is further increased to 3.5 seconds ... the
+        average response time is 16.67 seconds.'"""
+        assert tags_batch_mean_response(JOBS, (3.5,)) == pytest.approx(
+            100.0 / 6.0
+        )
+
+    def test_optimal_3_plus_eps_gives_15_67(self):
+        """'the minimum response time of 15.67 seconds would [be] attained
+        with a timeout fractionally above 3 seconds.'"""
+        assert tags_batch_mean_response(JOBS, (3.0 + 1e-9,)) == pytest.approx(
+            94.0 / 6.0
+        )
+
+    def test_optimal_search_finds_3(self):
+        timeouts, value = optimal_batch_timeout(JOBS, n_nodes=2)
+        assert timeouts[0] == pytest.approx(3.0, abs=1e-3)
+        assert value == pytest.approx(94.0 / 6.0)
+
+    def test_heavy_job_36_5(self):
+        """'the optimal timeout is (predictably) fractionally above 7
+        seconds, where the average response time is 36.5 seconds'."""
+        assert tags_batch_mean_response(JOBS_HEAVY, (7.0 + 1e-9,)) == pytest.approx(
+            36.5
+        )
+        timeouts, value = optimal_batch_timeout(JOBS_HEAVY, n_nodes=2)
+        assert timeouts[0] == pytest.approx(7.0, abs=1e-3)
+        assert value == pytest.approx(36.5)
+
+    def test_heavy_no_timeout_112(self):
+        """'as opposed to the no timeout case of 112 seconds.'"""
+        assert tags_batch_mean_response(JOBS_HEAVY, ()) == pytest.approx(112.0)
+
+    def test_zero_timeout_equivalent(self):
+        """'if the timeout was zero, all the jobs would be served at the
+        second node and the average response time would be the same' (as no
+        timeout).  A timeout below every demand adds exactly 6 tau / 6."""
+        tau = 1e-9
+        assert tags_batch_mean_response(JOBS, (tau,)) == pytest.approx(
+            17.0, abs=1e-6
+        )
+
+
+class TestMechanics:
+    def test_completion_order_single_queue(self):
+        c = tags_batch_completion_times([2.0, 1.0], ())
+        np.testing.assert_allclose(c, [2.0, 3.0])
+
+    def test_forwarded_jobs_keep_kill_order(self):
+        # both jobs time out; second killed later, served second at node 2
+        c = tags_batch_completion_times([5.0, 4.0], (1.0,))
+        # kills at 1, 2; node2: start 1 +5 = 6; start max(6,2) +4 = 10
+        np.testing.assert_allclose(c, [6.0, 10.0])
+
+    def test_three_nodes(self):
+        # timeouts 1 and 2: job of size 4 killed at node1 (t=1), node2
+        # (arrives 1, killed at 3), completes at node 3: 3 + 4 = 7
+        c = tags_batch_completion_times([4.0], (1.0, 2.0))
+        np.testing.assert_allclose(c, [7.0])
+
+    def test_mixed_completion_nodes(self):
+        # size-1 completes at node 1 behind the first kill
+        c = tags_batch_completion_times([4.0, 1.0], (2.0,))
+        # node1: job0 killed at 2, job1 served 2->3; node2: job0 4 -> 6
+        np.testing.assert_allclose(c, [6.0, 3.0])
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tags_batch_completion_times([], ())
+
+    def test_negative_demand(self):
+        with pytest.raises(ValueError):
+            tags_batch_completion_times([-1.0], ())
+
+    def test_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            tags_batch_completion_times([1.0], (0.0,))
+
+    def test_single_node_optimal(self):
+        timeouts, value = optimal_batch_timeout(JOBS, n_nodes=1)
+        assert timeouts == ()
+        assert value == pytest.approx(17.0)

@@ -1,0 +1,84 @@
+"""Accumulated-reward tests."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import Generator, mean_first_passage_times
+from repro.ctmc.accumulate import expected_accumulated_reward
+
+
+def chain(edges, n):
+    src = [e[0] for e in edges]
+    dst = [e[1] for e in edges]
+    rate = [e[2] for e in edges]
+    return Generator.from_triples(n, src, dst, rate)
+
+
+class TestAgainstFirstPassage:
+    def test_unit_reward_is_passage_time(self):
+        g = chain([(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0)], 3)
+        ones = np.ones(3)
+        a = expected_accumulated_reward(g, ones, [2])
+        m = mean_first_passage_times(g, [2])
+        np.testing.assert_allclose(a, m, atol=1e-12)
+
+    def test_scaled_reward_scales(self):
+        g = chain([(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0)], 3)
+        a1 = expected_accumulated_reward(g, np.ones(3), [2])
+        a5 = expected_accumulated_reward(g, 5 * np.ones(3), [2])
+        np.testing.assert_allclose(a5, 5 * a1)
+
+
+class TestClosedForms:
+    def test_pure_birth_weighted(self):
+        """0 -> 1 -> 2 at rate 1; reward r_i = i: E[acc from 0] =
+        0*1 + 1*1 = 1 (one unit of time in each state)."""
+        g = chain([(0, 1, 1.0), (1, 2, 1.0)], 3)
+        a = expected_accumulated_reward(g, np.array([0.0, 1.0, 7.0]), [2])
+        assert a[0] == pytest.approx(1.0)
+        assert a[1] == pytest.approx(1.0)
+        assert a[2] == 0.0
+
+    def test_unreachable_positive_reward_inf(self):
+        g = chain([(0, 1, 1.0), (1, 0, 1.0)], 3)
+        a = expected_accumulated_reward(g, np.ones(3), [2])
+        assert np.isinf(a[0]) and np.isinf(a[1])
+
+    def test_unreachable_zero_reward_nan(self):
+        g = chain([(0, 1, 1.0), (1, 0, 1.0)], 3)
+        a = expected_accumulated_reward(g, np.zeros(3), [2])
+        assert np.isnan(a[0])
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        g = chain([(0, 1, 1.0)], 2)
+        with pytest.raises(ValueError, match="reward shape"):
+            expected_accumulated_reward(g, np.ones(3), [1])
+
+    def test_empty_targets(self):
+        g = chain([(0, 1, 1.0)], 2)
+        with pytest.raises(ValueError, match="empty"):
+            expected_accumulated_reward(g, np.ones(2), [])
+
+
+class TestTagsApplication:
+    def test_wasted_work_before_first_loss(self):
+        """Expected job-seconds in the system before the first arrival
+        drop of an M/M/1/2 -- sanity: positive, finite, larger than the
+        passage time times min occupancy."""
+        from repro.ctmc import absorbing_on_action
+        from repro.ctmc.generator import TransitionBatch
+
+        lam, mu, K = 2.0, 3.0, 2
+        b = TransitionBatch()
+        for i in range(K):
+            b.add(i, i + 1, lam, action="arr")
+            b.add(i + 1, i, mu, action="srv")
+        b.add(K, K, lam, action="loss")
+        g = b.to_generator(K + 1)
+        g2, sink = absorbing_on_action(g, "loss")
+        reward = np.array([0.0, 1.0, 2.0, 0.0])  # jobs present per state
+        acc = expected_accumulated_reward(g2, reward, [sink])
+        t = mean_first_passage_times(g2, [sink])
+        assert 0 < acc[0] < 2 * t[0]

@@ -1,0 +1,102 @@
+"""Ordinary-lumping tests: quotient correctness and coarsest partitions."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import (
+    Generator,
+    lump_generator,
+    ordinary_lumping_partition,
+    steady_state,
+)
+
+
+def symmetric_pair():
+    """Two identical independent 2-state components: 4 states, lumpable to
+    3 by the count of 'up' components."""
+    # states: (a,b) with a,b in {0,1}; up-rate 2, down-rate 3 each
+    idx = {(a, b): 2 * a + b for a in (0, 1) for b in (0, 1)}
+    src, dst, rate = [], [], []
+    for (a, b), i in idx.items():
+        for comp, val in (("a", a), ("b", b)):
+            na, nb = (1 - a, b) if comp == "a" else (a, 1 - b)
+            r = 2.0 if val == 0 else 3.0
+            src.append(i)
+            dst.append(idx[(na, nb)])
+            rate.append(r)
+    return Generator.from_triples(4, src, dst, rate), idx
+
+
+class TestPartition:
+    def test_symmetric_components_lump_to_counts(self):
+        g, idx = symmetric_pair()
+        counts = [0, 1, 1, 2]  # number of up components per state
+        part = ordinary_lumping_partition(g, counts)
+        # states (0,1) and (1,0) must share a block
+        assert part[idx[(0, 1)]] == part[idx[(1, 0)]]
+        assert len(set(part)) == 3
+
+    def test_initial_labels_respected(self):
+        g, idx = symmetric_pair()
+        labels = [0, 1, 2, 3]  # all distinct: nothing may merge
+        part = ordinary_lumping_partition(g, labels)
+        assert len(set(part)) == 4
+
+    def test_asymmetric_chain_does_not_lump(self):
+        # birth-death with distinct rates everywhere: coarsest = singletons
+        src = [0, 1, 1, 2]
+        dst = [1, 0, 2, 1]
+        rate = [1.0, 2.0, 3.0, 4.0]
+        g = Generator.from_triples(3, src, dst, rate)
+        part = ordinary_lumping_partition(g)
+        assert len(set(part)) == 3
+
+    def test_label_length_mismatch(self):
+        g, _ = symmetric_pair()
+        with pytest.raises(ValueError):
+            ordinary_lumping_partition(g, [0, 1])
+
+
+class TestQuotient:
+    def test_quotient_steady_state_aggregates(self):
+        g, idx = symmetric_pair()
+        counts = [0, 1, 1, 2]
+        part = ordinary_lumping_partition(g, counts)
+        lumped = lump_generator(g, part)
+        pi_full = steady_state(g)
+        pi_lump = steady_state(lumped)
+        for b in range(lumped.n_states):
+            members = np.flatnonzero(part == b)
+            assert pi_lump[b] == pytest.approx(pi_full[members].sum(), rel=1e-9)
+
+    def test_quotient_is_binomial(self):
+        """Two independent up/down components: lumped chain is the
+        binomial birth-death on the up-count."""
+        g, idx = symmetric_pair()
+        part = ordinary_lumping_partition(g, [0, 1, 1, 2])
+        lumped = lump_generator(g, part)
+        pi = steady_state(lumped)
+        p_up = 2.0 / 5.0
+        # identify blocks by their stationary mass
+        expected = sorted(
+            [(1 - p_up) ** 2, 2 * p_up * (1 - p_up), p_up**2]
+        )
+        np.testing.assert_allclose(sorted(pi), expected, atol=1e-9)
+
+    def test_non_lumpable_partition_rejected(self):
+        src = [0, 1, 1, 2]
+        dst = [1, 0, 2, 1]
+        rate = [1.0, 2.0, 3.0, 4.0]
+        g = Generator.from_triples(3, src, dst, rate)
+        with pytest.raises(ValueError, match="not ordinarily lumpable"):
+            lump_generator(g, [0, 0, 1])
+
+    def test_tags_chain_lumps_trivially(self):
+        """The Figure 3 chain has no hidden symmetry: the coarsest
+        partition preserving (q1, q2) must keep the timer detail."""
+        from repro.models import TagsExponential
+
+        m = TagsExponential(lam=5, mu=10, t=30, n=2, K1=2, K2=2)
+        labels = [(s[0], s[2]) for s in m.states]
+        part = ordinary_lumping_partition(m.generator, labels)
+        assert len(set(part)) > len(set(labels))

@@ -1,0 +1,99 @@
+"""Reward / throughput / Little's-law tests."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import (
+    Generator,
+    action_throughput,
+    expected_reward,
+    littles_law_response_time,
+    steady_state,
+)
+from repro.ctmc.generator import TransitionBatch
+from repro.ctmc.rewards import all_action_throughputs
+
+
+def mm1k_generator(lam, mu, K):
+    b = TransitionBatch()
+    for i in range(K):
+        b.add(i, i + 1, lam, action="arrival")
+        b.add(i + 1, i, mu, action="service")
+    # losses: arrivals in the full state are dropped (self-loop, labelled)
+    b.add(K, K, lam, action="loss")
+    return b.to_generator(K + 1)
+
+
+class TestExpectedReward:
+    def test_mean_queue_length_mm1k(self):
+        lam, mu, K = 2.0, 5.0, 10
+        g = mm1k_generator(lam, mu, K)
+        pi = steady_state(g)
+        rho = lam / mu
+        p = rho ** np.arange(K + 1)
+        p /= p.sum()
+        L_exact = float(np.arange(K + 1) @ p)
+        assert expected_reward(pi, np.arange(K + 1.0)) == pytest.approx(L_exact)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_reward(np.array([0.5, 0.5]), np.array([1.0]))
+
+
+class TestThroughput:
+    def test_flow_balance(self):
+        """In steady state, arrival throughput = service throughput."""
+        g = mm1k_generator(3.0, 4.0, 6)
+        pi = steady_state(g)
+        arr = action_throughput(g, pi, "arrival")
+        srv = action_throughput(g, pi, "service")
+        assert arr == pytest.approx(srv, rel=1e-9)
+
+    def test_loss_plus_throughput_equals_offered(self):
+        lam = 3.0
+        g = mm1k_generator(lam, 4.0, 6)
+        pi = steady_state(g)
+        srv = action_throughput(g, pi, "service")
+        loss = action_throughput(g, pi, "loss")
+        assert srv + loss == pytest.approx(lam, rel=1e-9)
+
+    def test_loss_rate_matches_blocking_formula(self):
+        lam, mu, K = 3.0, 4.0, 6
+        g = mm1k_generator(lam, mu, K)
+        pi = steady_state(g)
+        rho = lam / mu
+        p = rho ** np.arange(K + 1)
+        p /= p.sum()
+        assert action_throughput(g, pi, "loss") == pytest.approx(lam * p[K])
+
+    def test_unknown_action(self):
+        g = mm1k_generator(1.0, 2.0, 3)
+        pi = steady_state(g)
+        with pytest.raises(KeyError, match="known actions"):
+            action_throughput(g, pi, "nope")
+
+    def test_all_action_throughputs(self):
+        g = mm1k_generator(1.0, 2.0, 3)
+        pi = steady_state(g)
+        d = all_action_throughputs(g, pi)
+        assert set(d) == {"arrival", "service", "loss"}
+
+
+class TestLittlesLaw:
+    def test_mm1k_response_time(self):
+        lam, mu, K = 2.0, 5.0, 10
+        g = mm1k_generator(lam, mu, K)
+        pi = steady_state(g)
+        L = expected_reward(pi, np.arange(K + 1.0))
+        X = action_throughput(g, pi, "service")
+        W = littles_law_response_time(L, X)
+        # sanity: response time at low load is near 1/(mu - lam) (M/M/1)
+        assert 0.9 / (mu - lam) < W < 1.5 / (mu - lam)
+
+    def test_rejects_zero_throughput(self):
+        with pytest.raises(ValueError):
+            littles_law_response_time(1.0, 0.0)
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError):
+            littles_law_response_time(-1.0, 1.0)

@@ -1,0 +1,120 @@
+"""Steady-state solver tests: all solvers must agree with closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import Generator, SteadyStateError, steady_state
+from repro.ctmc.steady import (
+    steady_state_direct,
+    steady_state_gauss_seidel,
+    steady_state_gmres,
+    steady_state_gth,
+    steady_state_power,
+)
+
+ALL_SOLVERS = [
+    steady_state_gth,
+    steady_state_direct,
+    steady_state_power,
+    steady_state_gauss_seidel,
+    steady_state_gmres,
+]
+
+
+def birth_death(lam, mu, K):
+    """M/M/1/K generator; stationary dist is truncated geometric."""
+    src, dst, rate = [], [], []
+    for i in range(K):
+        src.append(i), dst.append(i + 1), rate.append(lam)
+        src.append(i + 1), dst.append(i), rate.append(mu)
+    return Generator.from_triples(K + 1, src, dst, rate)
+
+
+def mm1k_exact(lam, mu, K):
+    rho = lam / mu
+    p = rho ** np.arange(K + 1)
+    return p / p.sum()
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS)
+class TestAgainstClosedForm:
+    def test_two_state(self, solver):
+        g = Generator.from_triples(2, [0, 1], [1, 0], [2.0, 3.0])
+        pi = solver(g)
+        np.testing.assert_allclose(pi, [0.6, 0.4], atol=1e-8)
+
+    def test_mm1k(self, solver):
+        g = birth_death(2.0, 5.0, 10)
+        np.testing.assert_allclose(solver(g), mm1k_exact(2.0, 5.0, 10), atol=1e-7)
+
+    def test_mm1k_overloaded(self, solver):
+        g = birth_death(8.0, 2.0, 8)
+        np.testing.assert_allclose(solver(g), mm1k_exact(8.0, 2.0, 8), atol=1e-7)
+
+    def test_stiff_rates(self, solver):
+        # rates spanning 6 orders of magnitude
+        g = birth_death(1e-3, 1e3, 4)
+        pi = solver(g)
+        np.testing.assert_allclose(pi, mm1k_exact(1e-3, 1e3, 4), atol=1e-9)
+
+
+class TestDispatch:
+    def test_auto_small_uses_gth(self):
+        g = birth_death(1.0, 2.0, 5)
+        np.testing.assert_allclose(
+            steady_state(g, "auto"), mm1k_exact(1.0, 2.0, 5), atol=1e-8
+        )
+
+    def test_accepts_raw_matrix(self):
+        Q = np.array([[-1.0, 1.0], [4.0, -4.0]])
+        np.testing.assert_allclose(steady_state(Q), [0.8, 0.2], atol=1e-9)
+
+    def test_unknown_method(self):
+        g = birth_death(1.0, 2.0, 2)
+        with pytest.raises(ValueError, match="unknown method"):
+            steady_state(g, "does-not-exist")
+
+    def test_single_state(self):
+        np.testing.assert_allclose(steady_state(np.zeros((1, 1))), [1.0])
+
+    def test_larger_chain_auto(self):
+        g = birth_death(3.0, 4.0, 300)
+        np.testing.assert_allclose(
+            steady_state(g), mm1k_exact(3.0, 4.0, 300), atol=1e-7
+        )
+
+
+class TestFailureModes:
+    def test_reducible_chain_gth_raises(self):
+        # state 1 absorbing: not irreducible
+        g = Generator.from_triples(2, [0], [1], [1.0])
+        with pytest.raises(SteadyStateError):
+            steady_state_gth(g)
+
+    def test_gauss_seidel_absorbing_raises(self):
+        g = Generator.from_triples(2, [0], [1], [1.0])
+        with pytest.raises(SteadyStateError):
+            steady_state_gauss_seidel(g)
+
+    def test_empty_chain(self):
+        with pytest.raises(SteadyStateError, match="empty"):
+            steady_state(np.zeros((0, 0)))
+
+
+class TestCrossSolverAgreement:
+    def test_random_reversible_chain(self):
+        rng = np.random.default_rng(42)
+        n = 40
+        # build an irreducible chain: ring + random extra edges
+        src = list(range(n)) + list(range(n))
+        dst = [(i + 1) % n for i in range(n)] + [(i - 1) % n for i in range(n)]
+        rate = list(rng.uniform(0.5, 5.0, 2 * n))
+        extra = rng.integers(0, n, size=(30, 2))
+        for a, b in extra:
+            if a != b:
+                src.append(int(a)), dst.append(int(b))
+                rate.append(float(rng.uniform(0.1, 2.0)))
+        g = Generator.from_triples(n, src, dst, rate)
+        ref = steady_state_gth(g)
+        for solver in ALL_SOLVERS[1:]:
+            np.testing.assert_allclose(solver(g), ref, atol=1e-6)

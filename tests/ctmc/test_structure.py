@@ -1,0 +1,73 @@
+"""Structural analysis tests (SCC, reachability, absorbing states)."""
+
+import numpy as np
+
+from repro.ctmc import (
+    Generator,
+    absorbing_states,
+    is_irreducible,
+    reachable_from,
+    strongly_connected_components,
+)
+
+
+def gen(n, edges):
+    src = [e[0] for e in edges]
+    dst = [e[1] for e in edges]
+    return Generator.from_triples(n, src, dst, [1.0] * len(edges))
+
+
+class TestScc:
+    def test_ring_is_single_scc(self):
+        g = gen(5, [(i, (i + 1) % 5) for i in range(5)])
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert sorted(comps[0]) == list(range(5))
+
+    def test_two_components(self):
+        # 0<->1 and 2<->3, plus a one-way bridge 1 -> 2
+        g = gen(4, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)])
+        comps = strongly_connected_components(g)
+        assert len(comps) == 2
+        sets = sorted(tuple(sorted(c)) for c in comps)
+        assert sets == [(0, 1), (2, 3)]
+
+    def test_isolated_states(self):
+        g = Generator.from_dense(np.zeros((3, 3)))
+        assert len(strongly_connected_components(g)) == 3
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 5000
+        edges = [(i, i + 1) for i in range(n - 1)] + [(n - 1, 0)]
+        g = gen(n, edges)
+        assert is_irreducible(g)
+
+
+class TestIrreducible:
+    def test_birth_death_irreducible(self):
+        edges = [(i, i + 1) for i in range(4)] + [(i + 1, i) for i in range(4)]
+        assert is_irreducible(gen(5, edges))
+
+    def test_absorbing_not_irreducible(self):
+        assert not is_irreducible(gen(2, [(0, 1)]))
+
+
+class TestReachability:
+    def test_reachable_chain(self):
+        g = gen(4, [(0, 1), (1, 2)])
+        np.testing.assert_array_equal(reachable_from(g, 0), [0, 1, 2])
+        np.testing.assert_array_equal(reachable_from(g, 3), [3])
+
+    def test_reachable_includes_start(self):
+        g = Generator.from_dense(np.zeros((2, 2)))
+        np.testing.assert_array_equal(reachable_from(g, 1), [1])
+
+
+class TestAbsorbing:
+    def test_detects_absorbing(self):
+        g = gen(3, [(0, 1), (1, 2)])
+        np.testing.assert_array_equal(absorbing_states(g), [2])
+
+    def test_none_absorbing(self):
+        g = gen(2, [(0, 1), (1, 0)])
+        assert absorbing_states(g).size == 0

@@ -1,0 +1,76 @@
+"""Transient (uniformization) tests against matrix-exponential ground truth."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.ctmc import Generator, steady_state, transient_distribution
+from repro.ctmc.transient import transient_rewards, uniformized_dtmc
+
+
+def random_generator(n, seed=0):
+    rng = np.random.default_rng(seed)
+    R = rng.uniform(0.0, 2.0, (n, n))
+    np.fill_diagonal(R, 0.0)
+    Q = R - np.diag(R.sum(axis=1))
+    return Generator.from_dense(Q)
+
+
+class TestUniformizedDtmc:
+    def test_stochastic(self):
+        g = random_generator(6)
+        P, lam = uniformized_dtmc(g)
+        assert lam >= g.uniformization_rate
+        np.testing.assert_allclose(np.asarray(P.sum(axis=1)).ravel(), 1.0)
+        assert P.toarray().min() >= 0
+
+    def test_forced_rate_too_small_rejected(self):
+        g = random_generator(4)
+        with pytest.raises(ValueError, match="rate"):
+            uniformized_dtmc(g, rate=g.uniformization_rate * 0.5)
+
+
+class TestTransient:
+    @pytest.mark.parametrize("t", [0.01, 0.3, 1.0, 5.0])
+    def test_matches_expm(self, t):
+        g = random_generator(8, seed=3)
+        p0 = np.zeros(8)
+        p0[0] = 1.0
+        expected = p0 @ scipy.linalg.expm(g.dense() * t)
+        got = transient_distribution(g, p0, t)
+        np.testing.assert_allclose(got, expected, atol=1e-8)
+
+    def test_t_zero_identity(self):
+        g = random_generator(5)
+        p0 = np.full(5, 0.2)
+        np.testing.assert_allclose(transient_distribution(g, p0, 0.0), p0)
+
+    def test_converges_to_steady_state(self):
+        g = random_generator(6, seed=9)
+        p0 = np.zeros(6)
+        p0[2] = 1.0
+        pi = steady_state(g)
+        pt = transient_distribution(g, p0, 200.0)
+        np.testing.assert_allclose(pt, pi, atol=1e-6)
+
+    def test_negative_time_rejected(self):
+        g = random_generator(3)
+        with pytest.raises(ValueError, match="negative"):
+            transient_distribution(g, np.array([1.0, 0, 0]), -1.0)
+
+    def test_bad_p0_rejected(self):
+        g = random_generator(3)
+        with pytest.raises(ValueError, match="probability"):
+            transient_distribution(g, np.array([0.5, 0.2, 0.2]), 1.0)
+
+    def test_reward_trajectory_monotone_relaxation(self):
+        # expected reward must approach the stationary value
+        g = random_generator(5, seed=11)
+        p0 = np.zeros(5)
+        p0[0] = 1.0
+        r = np.arange(5.0)
+        times = np.array([0.0, 1.0, 50.0])
+        vals = transient_rewards(g, p0, times, r)
+        pi = steady_state(g)
+        assert abs(vals[-1] - pi @ r) < 1e-6
+        assert vals[0] == 0.0

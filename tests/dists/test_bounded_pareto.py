@@ -1,0 +1,61 @@
+"""Bounded Pareto tests (Harchol-Balter's workload distribution)."""
+
+import numpy as np
+import pytest
+
+from repro.dists import BoundedPareto
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(2.0, 1.0, 1.1)
+
+    def test_rejects_bad_tail(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(1.0, 10.0, 0.0)
+
+
+class TestMoments:
+    def test_mean_by_quadrature(self):
+        d = BoundedPareto(1.0, 1000.0, 1.1)
+        xs = np.linspace(1.0, 1000.0, 400_000)
+        mean_num = np.trapezoid(xs * d.pdf(xs), xs)
+        assert d.mean == pytest.approx(mean_num, rel=1e-3)
+
+    def test_moment_at_tail_index(self):
+        # r == a hits the logarithmic branch
+        d = BoundedPareto(1.0, 100.0, 2.0)
+        xs = np.linspace(1.0, 100.0, 400_000)
+        m2_num = np.trapezoid(xs**2 * d.pdf(xs), xs)
+        assert d.moment(2) == pytest.approx(m2_num, rel=1e-3)
+
+    def test_high_variability(self):
+        """Harchol-Balter's canonical parameters give enormous SCV."""
+        d = BoundedPareto(512.0, 10.0**10, 1.1)
+        assert d.scv > 100.0
+
+
+class TestCdfSampling:
+    def test_cdf_limits(self):
+        d = BoundedPareto(2.0, 50.0, 1.5)
+        assert d.cdf(np.array([1.0]))[0] == 0.0
+        assert d.cdf(np.array([50.0]))[0] == pytest.approx(1.0)
+        assert d.cdf(np.array([100.0]))[0] == 1.0
+
+    def test_samples_within_bounds(self):
+        d = BoundedPareto(1.0, 100.0, 1.1)
+        xs = d.sample(10_000, np.random.default_rng(0))
+        assert xs.min() >= 1.0
+        assert xs.max() <= 100.0
+
+    def test_sample_mean(self):
+        d = BoundedPareto(1.0, 100.0, 1.5)
+        xs = d.sample(200_000, np.random.default_rng(1))
+        assert xs.mean() == pytest.approx(d.mean, rel=0.02)
+
+    def test_sample_cdf_agreement(self):
+        d = BoundedPareto(1.0, 30.0, 2.0)
+        xs = d.sample(100_000, np.random.default_rng(2))
+        for q in (2.0, 5.0, 15.0):
+            assert np.mean(xs <= q) == pytest.approx(d.cdf(np.array([q]))[0], abs=0.01)

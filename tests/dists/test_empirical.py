@@ -1,0 +1,86 @@
+"""Empirical-distribution tests: the trace -> fit -> simulate pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.dists import BoundedPareto, HyperExponential
+from repro.dists.empirical import EmpiricalDistribution
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = np.random.default_rng(99)
+    return HyperExponential.h2(0.95, 20.0, 0.5).sample(30_000, rng)
+
+
+class TestBasics:
+    def test_moments_match_data(self, trace):
+        d = EmpiricalDistribution(trace)
+        assert d.mean == pytest.approx(trace.mean())
+        assert d.scv == pytest.approx(trace.var() / trace.mean() ** 2)
+
+    def test_cdf_step_function(self):
+        d = EmpiricalDistribution([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(d.cdf([0.5, 1.0, 2.5, 4.0]), [0, 0.25, 0.5, 1.0])
+
+    def test_quantiles(self, trace):
+        d = EmpiricalDistribution(trace)
+        assert d.quantile(0.5) == pytest.approx(np.median(trace))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0, -2.0])
+
+    def test_from_file(self, tmp_path, trace):
+        path = tmp_path / "trace.txt"
+        np.savetxt(path, trace[:100])
+        d = EmpiricalDistribution.from_file(path)
+        assert d.data.size == 100
+
+
+class TestSampling:
+    def test_bootstrap_mean(self, trace):
+        d = EmpiricalDistribution(trace)
+        xs = d.sample(50_000, np.random.default_rng(1))
+        assert xs.mean() == pytest.approx(d.mean, rel=0.05)
+
+    def test_samples_come_from_data(self):
+        d = EmpiricalDistribution([1.0, 5.0, 9.0])
+        xs = d.sample(100, np.random.default_rng(0))
+        assert set(np.unique(xs)) <= {1.0, 5.0, 9.0}
+
+
+class TestPipeline:
+    def test_fit_h2_recovers_trace_shape(self, trace):
+        d = EmpiricalDistribution(trace)
+        res = d.fit_h2()
+        assert res.dist.mean == pytest.approx(d.mean, rel=0.03)
+        assert res.dist.scv == pytest.approx(d.scv, rel=0.25)
+
+    def test_simulator_accepts_empirical(self, trace):
+        from repro.sim import PoissonArrivals, RandomPolicy, Simulation
+
+        d = EmpiricalDistribution(trace)
+        sim = Simulation(
+            PoissonArrivals(2.0), d, RandomPolicy(weights=(1.0,)), (10,), seed=0
+        )
+        res = sim.run(t_end=2_000.0, warmup=100.0)
+        assert res.completed > 1000
+
+    def test_trace_to_ctmc_pipeline(self):
+        """bounded Pareto trace -> H2 fit -> TAGS CTMC runs end to end."""
+        rng = np.random.default_rng(5)
+        trace = BoundedPareto(0.03, 30.0, 1.2).sample(20_000, rng)
+        d = EmpiricalDistribution(trace)
+        fit = d.fit_h2()
+        mu1, mu2 = fit.dist.rates
+        a = float(fit.dist.probs[0])
+        from repro.models import TagsHyperExponential
+
+        m = TagsHyperExponential(
+            lam=4.0, alpha=a, mu1=float(mu1), mu2=float(mu2),
+            t=20.0, n=3, K1=5, K2=5,
+        ).metrics()
+        assert m.throughput > 0

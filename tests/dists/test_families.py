@@ -1,0 +1,140 @@
+"""Tests for the concrete PH families and the paper's H2 constructors."""
+
+import numpy as np
+import pytest
+
+from repro.dists import (
+    Coxian,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    h2_balanced_means,
+    h2_from_mean_scv,
+)
+
+
+class TestExponential:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_mean_scv(self):
+        d = Exponential(10.0)
+        assert d.mean == pytest.approx(0.1)
+        assert d.scv == pytest.approx(1.0)
+
+
+class TestErlang:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            Erlang(0, 1.0)
+
+    def test_scv_decreases_with_k(self):
+        """The paper: "the variance decreases as k increases, so that for
+        large k the Erlang distribution is approximately deterministic"."""
+        scvs = [Erlang(k, k / 2.0).scv for k in (1, 2, 6, 20)]
+        assert all(a > b for a, b in zip(scvs, scvs[1:]))
+        assert scvs[-1] == pytest.approx(1 / 20)
+
+    def test_k1_is_exponential(self):
+        e, d = Exponential(3.0), Erlang(1, 3.0)
+        xs = np.linspace(0, 3, 50)
+        np.testing.assert_allclose(d.pdf(xs), e.pdf(xs), atol=1e-10)
+
+    def test_timeout_clock_mean(self):
+        """Figure 3 timer with n ticks + timeout action = Erlang(n+1, t)."""
+        n, t = 6, 51.0
+        clock = Erlang(n + 1, t)
+        assert clock.mean == pytest.approx((n + 1) / t)
+
+
+class TestHyperExponential:
+    def test_cdf_matches_paper_formula(self):
+        """F = 1 - alpha e^{-mu1 t} - (1-alpha) e^{-mu2 t} (Section 3.2)."""
+        a, m1, m2 = 0.99, 100.0, 1.0
+        d = HyperExponential.h2(a, m1, m2)
+        ts = np.array([0.01, 0.1, 1.0, 5.0])
+        expected = 1 - a * np.exp(-m1 * ts) - (1 - a) * np.exp(-m2 * ts)
+        np.testing.assert_allclose(d.cdf(ts), expected, atol=1e-12)
+
+    def test_variance_exceeds_exponential_same_mean(self):
+        """Paper: H2 "has a greater variance than an exponential distribution
+        of the same mean (as long as mu1 != mu2)"."""
+        d = HyperExponential.h2(0.5, 4.0, 1.0)
+        e = Exponential(1.0 / d.mean)
+        assert d.variance > e.variance
+
+    def test_equal_rates_degenerates_to_exponential(self):
+        d = HyperExponential.h2(0.3, 2.0, 2.0)
+        assert d.scv == pytest.approx(1.0)
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ValueError):
+            HyperExponential([0.6, 0.6], [1.0, 2.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            HyperExponential([0.5, 0.5], [1.0])
+
+    def test_three_branch(self):
+        d = HyperExponential([0.2, 0.3, 0.5], [1.0, 2.0, 4.0])
+        assert d.mean == pytest.approx(0.2 / 1 + 0.3 / 2 + 0.5 / 4)
+
+
+class TestCoxian:
+    def test_all_continue_is_erlang(self):
+        c = Coxian([2.0, 2.0, 2.0], [1.0, 1.0])
+        e = Erlang(3, 2.0)
+        assert c.mean == pytest.approx(e.mean)
+        assert c.variance == pytest.approx(e.variance)
+
+    def test_no_continue_is_exponential(self):
+        c = Coxian([3.0, 1.0], [0.0])
+        assert c.mean == pytest.approx(1 / 3)
+
+    def test_rejects_bad_cont(self):
+        with pytest.raises(ValueError):
+            Coxian([1.0, 1.0], [1.5])
+
+
+class TestPaperH2Constructors:
+    def test_fig9_parameters(self):
+        """Fig 9: mean 0.1, alpha = 0.99, mu1 = 100 mu2."""
+        d = h2_balanced_means(0.1, 0.99, 100.0)
+        assert d.mean == pytest.approx(0.1)
+        assert d.rates[0] == pytest.approx(100.0 * d.rates[1])
+        assert d.probs[0] == pytest.approx(0.99)
+
+    def test_fig11_parameters_sweep(self):
+        """Fig 11-12: mu1 = 10 mu2, alpha in [0.89, 0.99], mean 0.1."""
+        for a in np.linspace(0.89, 0.99, 6):
+            d = h2_balanced_means(0.1, a, 10.0)
+            assert d.mean == pytest.approx(0.1)
+            assert d.rates[0] == pytest.approx(10.0 * d.rates[1])
+
+    def test_long_jobs_get_longer_as_alpha_grows(self):
+        """Paper (Fig 11 discussion): as alpha increases, the long jobs'
+        mean increases to keep the overall mean constant."""
+        means_long = [
+            1.0 / h2_balanced_means(0.1, a, 10.0).rates[1]
+            for a in (0.89, 0.94, 0.99)
+        ]
+        assert means_long[0] < means_long[1] < means_long[2]
+
+    def test_rejects_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            h2_balanced_means(0.1, 1.0, 10.0)
+
+    def test_mean_scv_fit_roundtrip(self):
+        d = h2_from_mean_scv(0.1, 20.0)
+        assert d.mean == pytest.approx(0.1)
+        assert d.scv == pytest.approx(20.0)
+
+    def test_mean_scv_one_gives_exponential(self):
+        d = h2_from_mean_scv(0.25, 1.0)
+        assert isinstance(d, Exponential)
+        assert d.mean == pytest.approx(0.25)
+
+    def test_mean_scv_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            h2_from_mean_scv(1.0, 0.5)

@@ -1,0 +1,78 @@
+"""EM fitting tests (the EMpht replacement)."""
+
+import numpy as np
+import pytest
+
+from repro.dists import (
+    BoundedPareto,
+    Erlang,
+    HyperExponential,
+    fit_erlang_mixture,
+    fit_hyperexponential,
+)
+
+
+class TestHyperExpFit:
+    def test_recovers_planted_h2(self):
+        true = HyperExponential.h2(0.9, 20.0, 0.5)
+        rng = np.random.default_rng(42)
+        data = true.sample(60_000, rng)
+        res = fit_hyperexponential(data, k=2)
+        assert res.converged
+        assert res.dist.mean == pytest.approx(true.mean, rel=0.05)
+        # component recovery (fastest-first ordering)
+        assert res.dist.rates[0] == pytest.approx(20.0, rel=0.15)
+        assert res.dist.probs[0] == pytest.approx(0.9, abs=0.03)
+
+    def test_likelihood_monotone(self):
+        rng = np.random.default_rng(0)
+        data = HyperExponential.h2(0.7, 5.0, 0.2).sample(5_000, rng)
+        res = fit_hyperexponential(data, k=2)
+        assert np.all(np.diff(res.trace) >= -1e-6)
+
+    def test_k1_is_mle_exponential(self):
+        rng = np.random.default_rng(3)
+        data = rng.exponential(0.25, 10_000)
+        res = fit_hyperexponential(data, k=1)
+        assert res.dist.rates[0] == pytest.approx(1.0 / data.mean(), rel=1e-6)
+
+    def test_fits_bounded_pareto_mean(self):
+        """The paper's H2 'broadly corresponds' to a bounded Pareto; the EM
+        fit must at least match the mean and produce SCV > 1."""
+        bp = BoundedPareto(0.02, 20.0, 1.1)
+        rng = np.random.default_rng(9)
+        data = bp.sample(50_000, rng)
+        res = fit_hyperexponential(data, k=2)
+        assert res.dist.mean == pytest.approx(data.mean(), rel=0.05)
+        assert res.dist.scv > 1.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_hyperexponential([1.0])
+        with pytest.raises(ValueError):
+            fit_hyperexponential([1.0, -1.0])
+        with pytest.raises(ValueError):
+            fit_hyperexponential([1.0, 2.0], k=0)
+
+
+class TestErlangMixtureFit:
+    def test_recovers_pure_erlang(self):
+        true = Erlang(4, 8.0)
+        rng = np.random.default_rng(17)
+        data = true.sample(40_000, rng)
+        res = fit_erlang_mixture(data, shapes=[4])
+        assert res.converged
+        assert res.dist.mean == pytest.approx(true.mean, rel=0.02)
+        assert res.dist.scv == pytest.approx(0.25, abs=0.02)
+
+    def test_mixture_of_two_shapes(self):
+        rng = np.random.default_rng(23)
+        a = Erlang(2, 10.0).sample(20_000, rng)
+        b = Erlang(6, 1.0).sample(20_000, rng)
+        data = np.concatenate([a, b])
+        res = fit_erlang_mixture(data, shapes=[2, 6])
+        assert res.dist.mean == pytest.approx(data.mean(), rel=0.05)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            fit_erlang_mixture([1.0, 2.0], shapes=[0])

@@ -1,0 +1,144 @@
+"""Tests for the general PH(alpha, T) machinery."""
+
+import numpy as np
+import pytest
+
+from repro.dists import Erlang, Exponential, HyperExponential, PhaseType
+
+
+class TestValidation:
+    def test_rejects_nonsquare_T(self):
+        with pytest.raises(ValueError, match="square"):
+            PhaseType([1.0], np.zeros((1, 2)))
+
+    def test_rejects_alpha_shape(self):
+        with pytest.raises(ValueError, match="alpha shape"):
+            PhaseType([0.5, 0.5], [[-1.0]])
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError, match="negative"):
+            PhaseType([-0.1, 1.1], np.diag([-1.0, -1.0]))
+
+    def test_rejects_alpha_above_one(self):
+        with pytest.raises(ValueError, match="sums to"):
+            PhaseType([0.8, 0.8], np.diag([-1.0, -1.0]))
+
+    def test_rejects_positive_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            PhaseType([1.0], [[1.0]])
+
+    def test_rejects_positive_rowsum(self):
+        T = np.array([[-1.0, 2.0], [0.0, -1.0]])
+        with pytest.raises(ValueError, match="row sums"):
+            PhaseType([1.0, 0.0], T)
+
+    def test_atom_at_zero(self):
+        d = PhaseType([0.7], [[-2.0]])
+        assert d.atom_at_zero == pytest.approx(0.3)
+
+
+class TestAgainstExponential:
+    """A one-phase PH must agree with Exponential closed forms."""
+
+    def setup_method(self):
+        self.ph = PhaseType([1.0], [[-3.0]])
+
+    def test_mean(self):
+        assert self.ph.mean == pytest.approx(1 / 3)
+
+    def test_variance(self):
+        assert self.ph.variance == pytest.approx(1 / 9)
+
+    def test_scv_is_one(self):
+        assert self.ph.scv == pytest.approx(1.0)
+
+    def test_pdf(self):
+        xs = np.array([0.0, 0.5, 2.0])
+        np.testing.assert_allclose(self.ph.pdf(xs), 3 * np.exp(-3 * xs), atol=1e-10)
+
+    def test_cdf(self):
+        xs = np.array([0.0, 0.5, 2.0])
+        np.testing.assert_allclose(self.ph.cdf(xs), 1 - np.exp(-3 * xs), atol=1e-10)
+
+    def test_laplace(self):
+        s = np.array([0.5, 1.0, 4.0])
+        np.testing.assert_allclose(
+            self.ph.laplace_transform(s), 3.0 / (3.0 + s), atol=1e-12
+        )
+
+
+class TestMoments:
+    def test_erlang_moments(self):
+        d = Erlang(4, 2.0)
+        assert d.mean == pytest.approx(2.0)
+        assert d.variance == pytest.approx(1.0)
+        assert d.scv == pytest.approx(0.25)
+        # third raw moment of gamma(k, 1/r): k(k+1)(k+2)/r^3
+        assert d.moment(3) == pytest.approx(4 * 5 * 6 / 8)
+
+    def test_moment_zero(self):
+        assert Exponential(1.0).moment(0) == 1.0
+
+    def test_negative_moment_rejected(self):
+        with pytest.raises(ValueError):
+            Exponential(1.0).moment(-1)
+
+    def test_h2_mean(self):
+        d = HyperExponential.h2(0.99, 100.0, 1.0)
+        assert d.mean == pytest.approx(0.99 / 100 + 0.01 / 1.0)
+
+    def test_h2_scv_above_one(self):
+        d = HyperExponential.h2(0.99, 100.0, 1.0)
+        assert d.scv > 1.0
+
+
+class TestSampling:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(2.0),
+            Erlang(3, 4.0),
+            HyperExponential.h2(0.9, 10.0, 0.5),
+        ],
+        ids=["exp", "erlang", "h2"],
+    )
+    def test_sample_mean_matches(self, dist):
+        rng = np.random.default_rng(1234)
+        xs = dist.sample(40_000, rng)
+        assert xs.min() > 0
+        assert np.mean(xs) == pytest.approx(dist.mean, rel=0.05)
+
+    def test_generic_ph_sampler(self):
+        # two-phase Coxian-like PH sampled through the generic walker
+        T = np.array([[-5.0, 2.0], [0.0, -1.0]])
+        d = PhaseType([1.0, 0.0], T)
+        rng = np.random.default_rng(7)
+        xs = d.sample(40_000, rng)
+        assert np.mean(xs) == pytest.approx(d.mean, rel=0.05)
+
+    def test_atom_at_zero_sampling(self):
+        d = PhaseType([0.5], [[-1.0]])
+        rng = np.random.default_rng(3)
+        xs = d.sample(10_000, rng)
+        assert np.mean(xs == 0.0) == pytest.approx(0.5, abs=0.02)
+
+
+class TestCdfPdfConsistency:
+    def test_cdf_monotone_and_limits(self):
+        d = HyperExponential.h2(0.8, 5.0, 0.5)
+        xs = np.linspace(0, 20, 200)
+        F = d.cdf(xs)
+        assert np.all(np.diff(F) >= -1e-12)
+        assert F[0] == pytest.approx(0.0, abs=1e-9)
+        assert F[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_pdf_integrates_to_one(self):
+        d = Erlang(3, 2.0)
+        xs = np.linspace(0, 15, 4001)
+        integral = np.trapezoid(d.pdf(xs), xs)
+        assert integral == pytest.approx(1.0, abs=1e-4)
+
+    def test_negative_x_zero(self):
+        d = Exponential(1.0)
+        assert d.pdf(np.array([-1.0]))[0] == 0.0
+        assert d.cdf(np.array([-1.0]))[0] == 0.0

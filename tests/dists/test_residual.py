@@ -1,0 +1,91 @@
+"""Residual-life tests: the alpha' computation of Section 3.2."""
+
+import numpy as np
+import pytest
+
+from repro.dists import (
+    Erlang,
+    HyperExponential,
+    erlang_vs_exp_timeout_probability,
+    h2_conditional_timeout_probability,
+    h2_residual_mixing,
+)
+from repro.dists.residual import h2_residual
+
+
+class TestTimeoutRace:
+    def test_closed_form_k1(self):
+        # exponential timeout: P[T < S] = t / (t + mu)
+        assert erlang_vs_exp_timeout_probability(3.0, 7.0, 1) == pytest.approx(0.3)
+
+    def test_monotone_in_k(self):
+        """More Erlang stages -> longer (more deterministic) timeout ->
+        less likely to beat the service."""
+        ps = [erlang_vs_exp_timeout_probability(5.0, 10.0, k) for k in (1, 2, 5, 10)]
+        assert all(a > b for a, b in zip(ps, ps[1:]))
+
+    def test_monte_carlo_agreement(self):
+        t, mu, k = 40.0, 10.0, 7
+        p = erlang_vs_exp_timeout_probability(t, mu, k)
+        rng = np.random.default_rng(5)
+        timeout = Erlang(k, t).sample(60_000, rng)
+        service = rng.exponential(1 / mu, 60_000)
+        assert np.mean(timeout < service) == pytest.approx(p, abs=0.01)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            erlang_vs_exp_timeout_probability(-1.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            erlang_vs_exp_timeout_probability(1.0, 1.0, 0)
+
+
+class TestResidualMixing:
+    def test_tilts_towards_long_jobs(self):
+        """alpha' < alpha: timed-out jobs are disproportionately long."""
+        a = 0.99
+        ap = h2_residual_mixing(42.0, a, 100.0, 1.0, 7)
+        assert ap < a
+
+    def test_equal_rates_no_tilt(self):
+        a = 0.7
+        assert h2_residual_mixing(5.0, a, 2.0, 2.0, 3) == pytest.approx(a)
+
+    def test_extreme_timeout_recovers_alpha(self):
+        """A very long timeout only catches the very longest jobs; a very
+        short timeout catches everyone (mix -> alpha)."""
+        a = 0.9
+        short = h2_residual_mixing(1e6, a, 100.0, 1.0, 1)
+        assert short == pytest.approx(a, abs=1e-3)
+        long = h2_residual_mixing(1e-4, a, 100.0, 1.0, 1)
+        assert long < 0.2
+
+    def test_unconditional_probability_bounds(self):
+        p = h2_conditional_timeout_probability(42.0, 0.99, 100.0, 1.0, 7)
+        p1 = erlang_vs_exp_timeout_probability(42.0, 100.0, 7)
+        p2 = erlang_vs_exp_timeout_probability(42.0, 1.0, 7)
+        assert p1 < p < p2
+
+    def test_residual_distribution_object(self):
+        d = h2_residual(42.0, 0.99, 100.0, 1.0, 7)
+        assert isinstance(d, HyperExponential)
+        # residual mean exceeds the original mean (long jobs over-represented)
+        orig = HyperExponential.h2(0.99, 100.0, 1.0)
+        assert d.mean > orig.mean
+
+    def test_monte_carlo_mixing(self):
+        """Simulate the race and check the conditional short-job fraction."""
+        t, a, m1, m2, k = 30.0, 0.95, 50.0, 2.0, 5
+        rng = np.random.default_rng(11)
+        n = 200_000
+        is_short = rng.random(n) < a
+        service = np.where(
+            is_short, rng.exponential(1 / m1, n), rng.exponential(1 / m2, n)
+        )
+        timeout = Erlang(k, t).sample(n, rng)
+        timed_out = timeout < service
+        emp = is_short[timed_out].mean()
+        assert emp == pytest.approx(h2_residual_mixing(t, a, m1, m2, k), abs=0.01)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            h2_residual_mixing(1.0, 1.5, 1.0, 2.0, 1)

@@ -1,0 +1,58 @@
+"""Experiment-configuration invariants (the paper's pinned parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import (
+    FIG6_PARAMS,
+    FIG8_LAMBDAS,
+    FIG8_PAPER_OPTIMAL_T,
+    FIG9_PARAMS,
+    FIG11_ALPHAS,
+    MEAN_SERVICE,
+    h2_service_fig9,
+    h2_service_fig11,
+)
+
+
+class TestFig6:
+    def test_paper_parameters(self):
+        assert FIG6_PARAMS == dict(lam=5.0, mu=10.0, n=6, K1=10, K2=10)
+
+
+class TestFig8:
+    def test_lambdas_and_optima(self):
+        assert FIG8_LAMBDAS == (5.0, 7.0, 9.0, 11.0)
+        assert [FIG8_PAPER_OPTIMAL_T[l] for l in FIG8_LAMBDAS] == [51, 49, 45, 42]
+
+
+class TestFig9Service:
+    def test_mean_and_ratio(self):
+        d = h2_service_fig9()
+        assert d.mean == pytest.approx(MEAN_SERVICE)
+        assert d.rates[0] == pytest.approx(100 * d.rates[1])
+        assert d.probs[0] == pytest.approx(0.99)
+
+    def test_rates_match_hand_calculation(self):
+        # 0.99/mu1 + 0.01/mu2 = 0.1 with mu1 = 100 mu2 -> mu2 = 0.199
+        d = h2_service_fig9()
+        assert d.rates[1] == pytest.approx(0.199)
+        assert d.rates[0] == pytest.approx(19.9)
+
+    def test_heavy_tail(self):
+        assert h2_service_fig9().scv == pytest.approx(50.0, abs=1.0)
+
+
+class TestFig11Service:
+    def test_alpha_grid_covers_paper_range(self):
+        assert FIG11_ALPHAS.min() == pytest.approx(0.89)
+        assert FIG11_ALPHAS.max() == pytest.approx(0.99)
+
+    @pytest.mark.parametrize("alpha", [0.89, 0.93, 0.99])
+    def test_mean_invariant(self, alpha):
+        d = h2_service_fig11(alpha)
+        assert d.mean == pytest.approx(MEAN_SERVICE)
+        assert d.rates[0] == pytest.approx(10 * d.rates[1])
+
+    def test_milder_tail_than_fig9(self):
+        assert h2_service_fig11(0.99).scv < h2_service_fig9().scv / 4

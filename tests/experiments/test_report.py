@@ -1,0 +1,62 @@
+"""Report rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import render_figure, render_table
+from repro.experiments.figures import FigureData
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "long_header"], [[1.0, 2.0], [3.25, 4.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # all same width
+
+    def test_mixed_types(self):
+        out = render_table(["x", "label"], [[1.5, "foo"]])
+        assert "foo" in out and "1.5000" in out
+
+
+class TestRenderFigure:
+    def make(self):
+        fig = FigureData("Figure X", "t", "W", np.array([1.0, 2.0, 3.0]))
+        fig.add("TAG", [0.1, 0.2, 0.3])
+        return fig
+
+    def test_contains_title_and_series(self):
+        out = render_figure(self.make())
+        assert "Figure X" in out
+        assert "TAG" in out
+        assert out.count("\n") == 2 + 3  # title + header + rule + 3 rows
+
+    def test_max_rows_subsamples(self):
+        fig = FigureData("F", "t", "y", np.arange(100.0))
+        fig.add("s", np.arange(100.0))
+        out = render_figure(fig, max_rows=5)
+        # title + header + rule + <=5 rows
+        assert out.count("\n") <= 7
+
+    def test_shape_mismatch_rejected(self):
+        fig = FigureData("F", "t", "y", np.arange(3.0))
+        with pytest.raises(ValueError):
+            fig.add("bad", [1.0, 2.0])
+
+
+class TestCsvExport:
+    def test_roundtrip(self, tmp_path):
+        import csv
+
+        from repro.experiments.report import figure_to_csv
+
+        fig = FigureData("F", "t", "y", np.array([1.0, 2.5]))
+        fig.add("a", [0.125, 0.25])
+        fig.add("b", [3.0, 4.0])
+        path = tmp_path / "fig.csv"
+        figure_to_csv(fig, path)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["t", "a", "b"]
+        assert [float(v) for v in rows[1]] == [1.0, 0.125, 3.0]
+        assert [float(v) for v in rows[2]] == [2.5, 0.25, 4.0]

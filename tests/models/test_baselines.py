@@ -1,0 +1,123 @@
+"""Random-allocation and shortest-queue baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import action_throughput, steady_state
+from repro.dists import Exponential, HyperExponential, h2_balanced_means
+from repro.models import MM1K, RandomAllocation, ShortestQueue, build_jsq_pepa_model
+from repro.models.random_alloc import build_random_pepa_model
+from repro.pepa import check_model, explore, to_generator
+
+
+class TestRandomAllocation:
+    def test_matches_two_mm1k(self):
+        ra = RandomAllocation(lam=5.0, service=10.0, K=10)
+        node = MM1K(2.5, 10.0, 10)
+        m = ra.metrics()
+        assert m.mean_jobs == pytest.approx(2 * node.mean_jobs)
+        assert m.throughput == pytest.approx(2 * node.throughput)
+        assert m.response_time == pytest.approx(node.response_time)
+
+    def test_pepa_appendix_a_agreement(self):
+        model = build_random_pepa_model(2.5, 2.5, 10.0, 10.0, 10)
+        assert check_model(model).warnings == []
+        space = explore(model)
+        assert space.n_states == 11 * 11
+        gen = to_generator(space)
+        pi = steady_state(gen)
+
+        def total(names):
+            return sum(float(nm.split("_")[1]) for nm in names)
+
+        L = float(pi @ space.state_reward(total))
+        X = action_throughput(gen, pi, "service1") + action_throughput(
+            gen, pi, "service2"
+        )
+        m = RandomAllocation(lam=5.0, service=10.0, K=10).metrics()
+        assert L == pytest.approx(m.mean_jobs, rel=1e-9)
+        assert X == pytest.approx(m.throughput, rel=1e-9)
+
+    def test_h2_service(self):
+        d = h2_balanced_means(0.1, 0.99, 100.0)
+        m = RandomAllocation(lam=11.0, service=d, K=10).metrics()
+        # H2 hurts: worse than exponential with the same mean
+        m_exp = RandomAllocation(lam=11.0, service=10.0, K=10).metrics()
+        assert m.response_time > 2 * m_exp.response_time
+
+    def test_uneven_split(self):
+        ra = RandomAllocation(lam=6.0, service=10.0, K=8, split=2 / 3)
+        assert ra.nodes[0].lam == pytest.approx(4.0)
+        assert ra.nodes[1].lam == pytest.approx(2.0)
+
+    def test_bad_split(self):
+        with pytest.raises(ValueError):
+            RandomAllocation(lam=1.0, service=1.0, K=2, split=1.0)
+
+
+class TestShortestQueueExp:
+    def test_pepa_appendix_b_agreement(self):
+        model = build_jsq_pepa_model(5.0, 10.0, 10)
+        assert check_model(model).warnings == []
+        space = explore(model)
+        gen = to_generator(space)
+        pi = steady_state(gen)
+
+        def total(names):
+            return sum(
+                float(nm.split("_")[1])
+                for nm in names
+                if nm.startswith("Queue")
+            )
+
+        L = float(pi @ space.state_reward(total))
+        X = action_throughput(gen, pi, "serv1") + action_throughput(
+            gen, pi, "serv2"
+        )
+        m = ShortestQueue(lam=5.0, service=10.0, K=10).metrics()
+        assert L == pytest.approx(m.mean_jobs, rel=1e-9)
+        assert X == pytest.approx(m.throughput, rel=1e-9)
+
+    def test_beats_random_exponential(self):
+        """JSQ is the optimal policy for exponential demand (Section 3.2)."""
+        jsq = ShortestQueue(lam=9.0, service=10.0, K=10).metrics()
+        rnd = RandomAllocation(lam=9.0, service=10.0, K=10).metrics()
+        assert jsq.response_time < rnd.response_time
+        assert jsq.loss_rate < rnd.loss_rate
+
+    def test_negligible_loss_at_low_load(self):
+        """Paper: at lam=5 'the shortest queue strategy has almost
+        negligible loss'."""
+        m = ShortestQueue(lam=5.0, service=10.0, K=10).metrics()
+        assert m.loss_probability < 1e-8
+
+    def test_loss_only_when_both_full(self):
+        m = ShortestQueue(lam=30.0, service=10.0, K=3).metrics()
+        # heavy overload: loss approaches lam - 2 mu
+        assert m.loss_rate == pytest.approx(30.0 - m.throughput)
+        assert m.throughput < 2 * 10.0
+
+
+class TestShortestQueueH2:
+    def test_h2_collapses_to_exp(self):
+        d = HyperExponential.h2(0.5, 10.0, 10.0)
+        h2 = ShortestQueue(lam=5.0, service=d, K=8).metrics()
+        ex = ShortestQueue(lam=5.0, service=10.0, K=8).metrics()
+        assert h2.mean_jobs == pytest.approx(ex.mean_jobs, rel=1e-9)
+        assert h2.throughput == pytest.approx(ex.throughput, rel=1e-9)
+
+    def test_h2_worse_than_exp_same_mean(self):
+        d = h2_balanced_means(0.1, 0.99, 100.0)
+        h2 = ShortestQueue(lam=11.0, service=d, K=10).metrics()
+        ex = ShortestQueue(lam=11.0, service=10.0, K=10).metrics()
+        assert h2.response_time > ex.response_time
+
+    def test_rejects_non_h2(self):
+        d = HyperExponential([0.3, 0.3, 0.4], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="two-phase"):
+            ShortestQueue(lam=1.0, service=d, K=3)
+
+    def test_flow_balance(self):
+        d = h2_balanced_means(0.1, 0.95, 10.0)
+        m = ShortestQueue(lam=11.0, service=d, K=10).metrics()
+        assert m.throughput + m.loss_rate == pytest.approx(11.0, abs=1e-8)

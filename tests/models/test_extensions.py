@@ -1,0 +1,76 @@
+"""Tests for the TAGS model extensions: heterogeneous nodes and the
+Section 7 dynamic (queue-length-adaptive) timeout."""
+
+import pytest
+
+from repro.models import TagsExponential
+
+
+class TestHeterogeneousNodes:
+    def test_defaults_match_homogeneous(self):
+        base = TagsExponential(lam=5, mu=10, t=40, n=3, K1=5, K2=5).metrics()
+        het = TagsExponential(
+            lam=5, mu=10, t=40, n=3, K1=5, K2=5, mu2_service=10.0, t2=40.0
+        ).metrics()
+        assert het.mean_jobs == pytest.approx(base.mean_jobs, rel=1e-12)
+
+    def test_faster_node2_drains_queue2(self):
+        slow = TagsExponential(lam=9, mu=10, t=40, n=3, K1=5, K2=5).metrics()
+        fast = TagsExponential(
+            lam=9, mu=10, t=40, n=3, K1=5, K2=5, mu2_service=25.0
+        ).metrics()
+        assert fast.mean_jobs_per_node[1] < slow.mean_jobs_per_node[1]
+        assert fast.throughput >= slow.throughput
+
+    def test_slow_repeat_clock_grows_queue2(self):
+        base = TagsExponential(lam=9, mu=10, t=40, n=3, K1=5, K2=5).metrics()
+        slow_repeat = TagsExponential(
+            lam=9, mu=10, t=40, n=3, K1=5, K2=5, t2=10.0
+        ).metrics()
+        assert slow_repeat.mean_jobs_per_node[1] > base.mean_jobs_per_node[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TagsExponential(mu2_service=0.0)
+        with pytest.raises(ValueError):
+            TagsExponential(t2=-1.0)
+
+
+class TestDynamicTimeout:
+    def test_constant_function_matches_static(self):
+        """A constant t_of_q1 equal to t is exactly the static model (the
+        base t still drives node 2's repeat clock)."""
+        static = TagsExponential(lam=9, mu=10, t=42, n=3, K1=5, K2=5).metrics()
+        dyn = TagsExponential(
+            lam=9, mu=10, t=42.0, n=3, K1=5, K2=5, t_of_q1=lambda q: 42.0
+        ).metrics()
+        assert dyn.mean_jobs == pytest.approx(static.mean_jobs, rel=1e-12)
+        assert dyn.throughput == pytest.approx(static.throughput, rel=1e-12)
+
+    def test_adaptive_changes_behaviour(self):
+        static = TagsExponential(lam=11, mu=10, t=42, n=3, K1=6, K2=6).metrics()
+        adaptive = TagsExponential(
+            lam=11, mu=10, t=42, n=3, K1=6, K2=6,
+            t_of_q1=lambda q: 42.0 * (1.0 + 0.3 * (q - 1)),
+        ).metrics()
+        assert adaptive.mean_jobs != pytest.approx(static.mean_jobs, rel=1e-9)
+
+    def test_pressure_adaptive_sheds_node1_backlog(self):
+        """Timing out faster when the queue is long must shorten queue 1."""
+        static = TagsExponential(lam=11, mu=10, t=30, n=3, K1=6, K2=6).metrics()
+        adaptive = TagsExponential(
+            lam=11, mu=10, t=30, n=3, K1=6, K2=6,
+            t_of_q1=lambda q: 30.0 * (1.0 + 1.0 * max(q - 2, 0)),
+        ).metrics()
+        assert adaptive.mean_jobs_per_node[0] < static.mean_jobs_per_node[0]
+
+    def test_validation_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="t_of_q1"):
+            TagsExponential(K1=3, t_of_q1=lambda q: 0.0)
+
+    def test_flow_balance_holds(self):
+        m = TagsExponential(
+            lam=11, mu=10, t=42, n=3, K1=5, K2=5,
+            t_of_q1=lambda q: 20.0 + 5.0 * q,
+        ).metrics()
+        assert m.throughput + m.loss_rate == pytest.approx(11.0, abs=1e-8)

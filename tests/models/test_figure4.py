@@ -1,0 +1,85 @@
+"""Figure 4 (per-place) model tests: internal consistency and its
+relationship to the Figure 3 encoding."""
+
+import pytest
+
+from repro.models import TagsExponential
+from repro.models.tags_figure4 import Figure4Model
+
+
+class TestCountedExact:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return Figure4Model(lam=5, mu=10, t=40, n=3, K1=4, K2=4)
+
+    def test_flow_balance(self, small):
+        m = small.metrics()
+        # no drops at node 2 in this encoding (timeout blocks instead), so
+        # successful throughput = accepted arrivals
+        assert m.throughput == pytest.approx(m.extra["accepted_rate"], abs=1e-8)
+
+    def test_queue_bounds(self, small):
+        m = small.metrics()
+        assert 0 <= m.mean_jobs_per_node[0] <= 4
+        assert 0 <= m.mean_jobs_per_node[1] <= 4
+
+    def test_close_to_figure3_at_low_loss(self):
+        """Same physical system, different encoding: throughput within 1%
+        (Figure 4 blocks instead of dropping at node 2, so it actually
+        completes slightly *more* jobs) and population within ~15% (the
+        pipelined repeat clock drains queue 2 faster)."""
+        f4 = Figure4Model(lam=5, mu=10, t=51, n=3, K1=6, K2=6).metrics()
+        f3 = TagsExponential(lam=5, mu=10, t=51, n=3, K1=6, K2=6).metrics()
+        assert f4.throughput == pytest.approx(f3.throughput, rel=0.01)
+        assert f4.throughput >= f3.throughput
+        assert f4.mean_jobs == pytest.approx(f3.mean_jobs, rel=0.15)
+
+    def test_closer_to_ticking_variant(self):
+        """The per-place encoding keeps tick2 alive during residuals, so it
+        should sit nearer the ticking variant of Figure 3 than the frozen
+        one."""
+        f4 = Figure4Model(lam=5, mu=10, t=51, n=3, K1=6, K2=6).metrics()
+        frozen = TagsExponential(lam=5, mu=10, t=51, n=3, K1=6, K2=6).metrics()
+        ticking = TagsExponential(
+            lam=5, mu=10, t=51, n=3, K1=6, K2=6, tick_during_residual=True
+        ).metrics()
+        gap_frozen = abs(f4.mean_jobs - frozen.mean_jobs)
+        gap_ticking = abs(f4.mean_jobs - ticking.mean_jobs)
+        assert gap_ticking < gap_frozen
+
+    def test_state_space_larger_than_figure3(self):
+        """Counting distinguishes repeat/residual per place, so the
+        quotient is bigger than Figure 3's head-only encoding (but far
+        smaller than the identity-full product)."""
+        f4 = Figure4Model(lam=5, mu=10, t=40, n=3, K1=4, K2=4)
+        gen, _, _ = f4.counted().explore()
+        f3 = TagsExponential(lam=5, mu=10, t=40, n=3, K1=4, K2=4)
+        assert gen.n_states > f3.n_states
+        # identity-full product would be ~2^4 * 3^4 * ... >> quotient
+        assert gen.n_states < 2**4 * 3**4 * 4 * 4 * 2
+
+
+class TestFluidView:
+    def test_fluid_runs_and_conserves(self):
+        f4 = Figure4Model(lam=5, mu=10, t=40, n=2, K1=5, K2=5)
+        fm = f4.fluid()
+        ts, traj = fm.solve(20.0, n_points=40)
+        places1 = traj["q1_places.Q1_0"] + traj["q1_places.Q1_1"]
+        assert abs(places1 - 5.0).max() < 1e-6
+
+    def test_fluid_underestimates_stochastic_queue(self):
+        """The fluid limit sees no variance: at rho=0.5 it predicts less
+        queueing than the exact counted chain."""
+        f4 = Figure4Model(lam=5, mu=10, t=40, n=2, K1=5, K2=5)
+        eq = f4.fluid().equilibrium(t_end=300.0)
+        fluid_q1 = eq["q1_places.Q1_1"]
+        exact_q1 = f4.metrics().mean_jobs_per_node[0]
+        assert fluid_q1 <= exact_q1 + 1e-6
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            Figure4Model(lam=0.0)
+        with pytest.raises(ValueError):
+            Figure4Model(n=0)

@@ -1,0 +1,62 @@
+"""Analytic M/M/1/K tests."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import Generator, steady_state
+from repro.models import MM1K
+
+
+class TestValidation:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            MM1K(0.0, 1.0, 5)
+
+    def test_rejects_bad_K(self):
+        with pytest.raises(ValueError):
+            MM1K(1.0, 1.0, 0)
+
+
+class TestClosedForms:
+    def test_distribution_sums_to_one(self):
+        q = MM1K(2.0, 5.0, 8)
+        assert q.distribution().sum() == pytest.approx(1.0)
+
+    def test_rho_one_uniform(self):
+        q = MM1K(3.0, 3.0, 4)
+        np.testing.assert_allclose(q.distribution(), 0.2)
+
+    def test_against_ctmc(self):
+        lam, mu, K = 4.0, 5.0, 7
+        q = MM1K(lam, mu, K)
+        src = list(range(K)) + list(range(1, K + 1))
+        dst = list(range(1, K + 1)) + list(range(K))
+        rate = [lam] * K + [mu] * K
+        pi = steady_state(Generator.from_triples(K + 1, src, dst, rate))
+        np.testing.assert_allclose(q.distribution(), pi, atol=1e-9)
+        assert q.mean_jobs == pytest.approx(float(np.arange(K + 1) @ pi))
+
+    def test_flow_balance(self):
+        q = MM1K(4.0, 5.0, 7)
+        assert q.throughput + q.loss_rate == pytest.approx(q.lam)
+
+    def test_utilisation_equals_throughput_over_mu(self):
+        q = MM1K(4.0, 5.0, 7)
+        assert q.utilisation == pytest.approx(q.throughput / q.mu)
+
+    def test_low_load_approaches_mm1(self):
+        lam, mu = 1.0, 10.0
+        q = MM1K(lam, mu, 40)
+        assert q.response_time == pytest.approx(1.0 / (mu - lam), rel=1e-6)
+
+    def test_heavy_load_saturates(self):
+        q = MM1K(100.0, 1.0, 5)
+        assert q.throughput == pytest.approx(1.0, rel=1e-3)
+        assert q.mean_jobs == pytest.approx(5.0, rel=1e-2)
+
+    def test_metrics_record(self):
+        m = MM1K(2.0, 5.0, 6).metrics()
+        assert m.offered_load == 2.0
+        assert m.loss_probability == pytest.approx(
+            MM1K(2.0, 5.0, 6).blocking_probability
+        )

@@ -1,0 +1,82 @@
+"""M/M/c/K and Erlang-formula tests."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import Generator, steady_state
+from repro.models import MM1K
+from repro.models.mmck import MMcK, erlang_b, erlang_c
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            MMcK(0.0, 1.0, 1, 2)
+        with pytest.raises(ValueError):
+            MMcK(1.0, 1.0, 0, 2)
+        with pytest.raises(ValueError):
+            MMcK(1.0, 1.0, 3, 2)  # K < c
+
+
+class TestAgainstMM1K:
+    def test_c1_equals_mm1k(self):
+        q = MMcK(4.0, 5.0, 1, 8)
+        ref = MM1K(4.0, 5.0, 8)
+        np.testing.assert_allclose(q.distribution(), ref.distribution())
+        assert q.mean_jobs == pytest.approx(ref.mean_jobs)
+        assert q.throughput == pytest.approx(ref.throughput)
+
+
+class TestAgainstCTMC:
+    def test_distribution_matches_generator(self):
+        lam, mu, c, K = 7.0, 2.0, 3, 8
+        q = MMcK(lam, mu, c, K)
+        src = list(range(K)) + list(range(1, K + 1))
+        dst = list(range(1, K + 1)) + list(range(K))
+        rate = [lam] * K + [mu * min(n, c) for n in range(1, K + 1)]
+        pi = steady_state(Generator.from_triples(K + 1, src, dst, rate))
+        np.testing.assert_allclose(q.distribution(), pi, atol=1e-9)
+
+    def test_stiff_rates_stable(self):
+        q = MMcK(1e-3, 1e3, 2, 6)
+        p = q.distribution()
+        assert p.sum() == pytest.approx(1.0)
+        assert p[0] > 0.999
+
+
+class TestPoolingQuestion:
+    def test_one_fast_server_beats_two_slow_on_delay(self):
+        """Classic result: at equal total capacity, the pooled fast server
+        gives lower response time than two slow ones."""
+        two_slow = MMcK(9.0, 10.0, 2, 20)  # 2 servers at rate 10
+        one_fast = MMcK(9.0, 20.0, 1, 20)  # 1 server at rate 20
+        assert one_fast.response_time < two_slow.response_time
+
+    def test_utilisation_bounds(self):
+        q = MMcK(9.0, 10.0, 2, 20)
+        assert 0 < q.utilisation < 1
+        # rho = 9/20
+        assert q.utilisation == pytest.approx(0.45, abs=0.01)
+
+
+class TestErlangFormulas:
+    def test_erlang_b_one_server(self):
+        # B(a, 1) = a / (1 + a)
+        assert erlang_b(0.5, 1) == pytest.approx(0.5 / 1.5)
+
+    def test_erlang_b_matches_mmcc(self):
+        a, c = 3.0, 4
+        q = MMcK(3.0, 1.0, c, c)
+        assert erlang_b(a, c) == pytest.approx(q.blocking_probability)
+
+    def test_erlang_c_exceeds_erlang_b(self):
+        a, c = 2.0, 4
+        assert erlang_c(a, c) > erlang_b(a, c)
+
+    def test_erlang_c_stability_guard(self):
+        with pytest.raises(ValueError):
+            erlang_c(4.0, 4)
+
+    def test_erlang_b_monotone_in_servers(self):
+        vals = [erlang_b(5.0, c) for c in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))

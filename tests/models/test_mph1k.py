@@ -1,0 +1,74 @@
+"""M/PH/1/K tests: exponential degeneracy, Erlang and H2 service."""
+
+import numpy as np
+import pytest
+
+from repro.dists import Erlang, Exponential, HyperExponential
+from repro.models import MM1K, MPH1K
+
+
+class TestValidation:
+    def test_rejects_bad_lam(self):
+        with pytest.raises(ValueError):
+            MPH1K(0.0, Exponential(1.0), 3)
+
+    def test_rejects_atom_at_zero(self):
+        from repro.dists import PhaseType
+
+        with pytest.raises(ValueError, match="atom"):
+            MPH1K(1.0, PhaseType([0.5], [[-1.0]]), 3)
+
+
+class TestExponentialDegeneracy:
+    """M/PH/1/K with one-phase PH must equal M/M/1/K exactly."""
+
+    @pytest.mark.parametrize("lam,mu,K", [(2.0, 5.0, 6), (9.0, 10.0, 10), (12.0, 10.0, 4)])
+    def test_matches_mm1k(self, lam, mu, K):
+        ph = MPH1K(lam, Exponential(mu), K)
+        ana = MM1K(lam, mu, K)
+        np.testing.assert_allclose(
+            ph.queue_length_distribution(), ana.distribution(), atol=1e-9
+        )
+        assert ph.mean_jobs == pytest.approx(ana.mean_jobs)
+        assert ph.throughput == pytest.approx(ana.throughput)
+        assert ph.loss_rate == pytest.approx(ana.loss_rate)
+
+
+class TestPhaseTypeService:
+    def test_flow_balance_h2(self):
+        d = HyperExponential.h2(0.99, 19.9, 0.199)
+        q = MPH1K(5.0, d, 8)
+        assert q.throughput + q.loss_rate == pytest.approx(5.0)
+
+    def test_erlang_less_variable_than_exp(self):
+        """Lower service variability -> smaller mean queue at equal load."""
+        lam = 4.0
+        exp_q = MPH1K(lam, Exponential(5.0), 12)
+        erl_q = MPH1K(lam, Erlang(4, 20.0), 12)  # same mean 0.2
+        assert erl_q.mean_jobs < exp_q.mean_jobs
+
+    def test_h2_more_variable_than_exp(self):
+        lam = 4.0
+        exp_q = MPH1K(lam, Exponential(5.0), 12)
+        h2 = HyperExponential.h2(0.9, 45.0, 0.9)  # mean 0.2 hmm: 0.9/45+0.1/0.9
+        # build H2 with exact mean 0.2 via balanced helper
+        from repro.dists import h2_from_mean_scv
+
+        h2 = h2_from_mean_scv(0.2, 8.0)
+        h2_q = MPH1K(lam, h2, 12)
+        assert h2_q.mean_jobs > exp_q.mean_jobs
+
+    def test_distribution_normalised(self):
+        d = HyperExponential.h2(0.5, 2.0, 0.5)
+        q = MPH1K(1.0, d, 5)
+        assert q.queue_length_distribution().sum() == pytest.approx(1.0)
+
+    def test_utilisation_bounds(self):
+        d = HyperExponential.h2(0.5, 2.0, 0.5)
+        q = MPH1K(1.0, d, 5)
+        assert 0 < q.utilisation < 1
+
+    def test_state_space_size(self):
+        d = HyperExponential.h2(0.5, 2.0, 0.5)
+        q = MPH1K(1.0, d, 5)
+        assert q.generator.n_states == 1 + 5 * 2

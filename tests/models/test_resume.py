@@ -1,0 +1,92 @@
+"""Restart-vs-resume tests (the paper's Section 6 open problem)."""
+
+import pytest
+
+from repro.dists import Exponential, h2_balanced_means
+from repro.models import TagsExponential
+from repro.sim import (
+    DeterministicTimeout,
+    ErlangTimeout,
+    PoissonArrivals,
+    Simulation,
+    TagsPolicy,
+)
+
+
+class TestCtmcResume:
+    def test_resume_never_worse_exponential(self):
+        """With memoryless demands, resume removes the repeat service and
+        can only help: fewer jobs, more throughput."""
+        for t in (10.0, 42.0, 100.0):
+            restart = TagsExponential(lam=9, mu=10, t=t, n=3, K1=6, K2=6).metrics()
+            resume = TagsExponential(
+                lam=9, mu=10, t=t, n=3, K1=6, K2=6, restart_work=False
+            ).metrics()
+            assert resume.mean_jobs <= restart.mean_jobs + 1e-12
+            assert resume.throughput >= restart.throughput - 1e-12
+
+    def test_resume_is_smaller_chain(self):
+        restart = TagsExponential(lam=9, mu=10, t=42, n=3, K1=6, K2=6)
+        resume = TagsExponential(
+            lam=9, mu=10, t=42, n=3, K1=6, K2=6, restart_work=False
+        )
+        assert resume.n_states < restart.n_states
+
+    def test_resume_node2_is_mm1k_fed_by_timeouts(self):
+        """Under resume, node 2 sees a (state-dependent) stream of
+        memoryless residuals at rate mu -- flow balance must still hold."""
+        m = TagsExponential(
+            lam=9, mu=10, t=42, n=3, K1=6, K2=6, restart_work=False
+        ).metrics()
+        assert m.throughput + m.loss_rate == pytest.approx(9.0, abs=1e-8)
+        assert m.extra["timeout_throughput"] - m.loss_per_node[1] == pytest.approx(
+            m.extra["service2_throughput"], abs=1e-9
+        )
+
+
+class TestSimResume:
+    def run(self, resume, demand, tau=0.12, lam=8.0, seed=0):
+        policy = TagsPolicy(
+            timeouts=(DeterministicTimeout(tau),), resume=resume
+        )
+        sim = Simulation(
+            PoissonArrivals(lam), demand, policy, (10, 10), seed=seed
+        )
+        return sim.run(t_end=30_000.0, warmup=2_000.0)
+
+    def test_resume_helps_exponential(self):
+        restart = self.run(False, Exponential(10.0))
+        resume = self.run(True, Exponential(10.0))
+        assert resume.mean_response_time < restart.mean_response_time
+
+    def test_restart_penalty_small_under_heavy_tails(self):
+        """The surprise that makes TAGS viable: with a well-chosen timeout
+        and a heavy tail, only the rare huge jobs time out, so the work
+        thrown away by restarting is *negligible relative to their demand*
+        -- the restart-vs-resume gap is much smaller for H2 than for
+        exponential demands (where timed-out jobs are ordinary and the
+        lost work is comparable to their size)."""
+        exp_restart = self.run(False, Exponential(10.0))
+        exp_resume = self.run(True, Exponential(10.0))
+        h2 = h2_balanced_means(0.1, 0.99, 100.0)
+        h2_restart = self.run(False, h2, tau=0.5)
+        h2_resume = self.run(True, h2, tau=0.5)
+        gain_exp = exp_restart.mean_response_time / exp_resume.mean_response_time
+        gain_h2 = h2_restart.mean_response_time / h2_resume.mean_response_time
+        assert gain_exp >= 1.0 and gain_h2 >= 1.0
+        assert gain_h2 < gain_exp
+
+    def test_resume_sim_matches_resume_ctmc(self):
+        """Erlang timeout + exponential demand + resume: simulator and
+        CTMC describe the same system."""
+        lam, mu, t, n = 5.0, 10.0, 51.0, 6
+        policy = TagsPolicy(timeouts=(ErlangTimeout(n, t),), resume=True)
+        sim = Simulation(
+            PoissonArrivals(lam), Exponential(mu), policy, (10, 10), seed=4
+        )
+        res = sim.run(t_end=60_000.0, warmup=3_000.0)
+        exact = TagsExponential(
+            lam=lam, mu=mu, t=t, n=n, restart_work=False
+        ).metrics()
+        assert res.mean_jobs == pytest.approx(exact.mean_jobs, rel=0.06)
+        assert res.throughput == pytest.approx(exact.throughput, rel=0.02)

@@ -1,0 +1,68 @@
+"""Round-robin allocation model tests."""
+
+import pytest
+
+from repro.dists import HyperExponential, h2_balanced_means
+from repro.models import RandomAllocation, RoundRobin, ShortestQueue
+
+
+class TestExponential:
+    def test_flow_balance(self):
+        m = RoundRobin(lam=5.0, service=10.0, K=10).metrics()
+        assert m.throughput + m.loss_rate == pytest.approx(5.0, abs=1e-9)
+
+    def test_between_random_and_jsq(self):
+        """Round robin smooths arrivals (beats random) but ignores queue
+        state (loses to JSQ) -- classic ordering for exponential
+        service."""
+        lam, mu, K = 9.0, 10.0, 10
+        rr = RoundRobin(lam=lam, service=mu, K=K).metrics()
+        rnd = RandomAllocation(lam=lam, service=mu, K=K).metrics()
+        jsq = ShortestQueue(lam=lam, service=mu, K=K).metrics()
+        assert jsq.response_time < rr.response_time < rnd.response_time
+
+    def test_symmetric_nodes(self):
+        m = RoundRobin(lam=6.0, service=10.0, K=8).metrics()
+        a, b = m.mean_jobs_per_node
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_state_space_size(self):
+        m = RoundRobin(lam=1.0, service=2.0, K=3)
+        # router bit x (K+1)^2 queue states, minus unreachable skew
+        assert m.n_states <= 2 * 16
+        assert m.n_states > 16
+
+
+class TestH2:
+    def test_collapses_to_exp(self):
+        d = HyperExponential.h2(0.4, 10.0, 10.0)
+        h2 = RoundRobin(lam=5.0, service=d, K=8).metrics()
+        ex = RoundRobin(lam=5.0, service=10.0, K=8).metrics()
+        assert h2.mean_jobs == pytest.approx(ex.mean_jobs, rel=1e-9)
+        assert h2.throughput == pytest.approx(ex.throughput, rel=1e-9)
+
+    def test_heavy_tail_hurts(self):
+        d = h2_balanced_means(0.1, 0.99, 100.0)
+        h2 = RoundRobin(lam=11.0, service=d, K=10).metrics()
+        ex = RoundRobin(lam=11.0, service=10.0, K=10).metrics()
+        assert h2.response_time > ex.response_time
+        assert h2.loss_rate > ex.loss_rate
+
+    def test_rejects_three_phase(self):
+        d = HyperExponential([0.2, 0.3, 0.5], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="two-phase"):
+            RoundRobin(lam=1.0, service=d, K=3)
+
+
+class TestValidation:
+    def test_bad_lam(self):
+        with pytest.raises(ValueError):
+            RoundRobin(lam=0.0, service=1.0, K=3)
+
+    def test_bad_K(self):
+        with pytest.raises(ValueError):
+            RoundRobin(lam=1.0, service=1.0, K=0)
+
+    def test_bad_service_rate(self):
+        with pytest.raises(ValueError):
+            RoundRobin(lam=1.0, service=-1.0, K=3)

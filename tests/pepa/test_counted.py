@@ -1,0 +1,125 @@
+"""Count-based aggregation tests: the quotient must be the exact lumped
+CTMC of the replicated system."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import action_throughput, steady_state
+from repro.pepa import FluidGroup, explore, parse_model, to_generator
+from repro.pepa.counted import CountedModel
+
+REPAIR = """
+brk = 1.0; fix = 4.0;
+Up = (break, brk).Down;
+Down = (repair, fix).Up;
+Up;
+"""
+
+
+class TestUnsyncedPopulation:
+    def test_counts_match_full_model(self):
+        """3 independent Up/Down components: counted quotient (4 states)
+        must aggregate the full 8-state product chain."""
+        m = parse_model(REPAIR)
+        cm = CountedModel(m, [FluidGroup("g", {"Up": 3})], synced=set())
+        gen, states, _ = cm.explore()
+        assert gen.n_states == 4  # up-count 0..3
+        pi = steady_state(gen)
+        up = cm.count_reward("g", "Up")
+        mean_up = float(pi @ np.array([up(s) for s in states]))
+        # independent components: E[up] = 3 * fix/(brk+fix)
+        assert mean_up == pytest.approx(3 * 0.8, rel=1e-9)
+
+    def test_binomial_distribution(self):
+        m = parse_model(REPAIR)
+        cm = CountedModel(m, [FluidGroup("g", {"Up": 2})], synced=set())
+        gen, states, _ = cm.explore()
+        pi = steady_state(gen)
+        up = cm.count_reward("g", "Up")
+        dist = {int(up(s)): p for s, p in zip(states, pi)}
+        p = 0.8
+        assert dist[2] == pytest.approx(p * p, rel=1e-9)
+        assert dist[1] == pytest.approx(2 * p * (1 - p), rel=1e-9)
+
+    def test_passive_unsynced_rejected(self):
+        m = parse_model("P = (a, infty).P; P;")
+        with pytest.raises(ValueError, match="passive"):
+            CountedModel(m, [FluidGroup("g", {"P": 2})], synced=set())
+
+    def test_non_integer_counts_rejected(self):
+        m = parse_model(REPAIR)
+        with pytest.raises(ValueError, match="integer"):
+            CountedModel(m, [FluidGroup("g", {"Up": 1.5})], synced=set())
+
+
+class TestSyncedGroups:
+    DEFS = """
+    mu = 5.0;
+    P0 = (eat, infty).P1;
+    P1 = (reset, 1.0).P0;
+    S = (eat, mu).S;
+    """
+
+    def test_against_explicit_composition(self):
+        """Counted (places <eat> server) must match the explicit PEPA
+        cooperation of 2 places with the server."""
+        cm = CountedModel(
+            parse_model(self.DEFS + "S;"),
+            [FluidGroup("places", {"P0": 2}), FluidGroup("server", {"S": 1})],
+            synced={"eat"},
+        )
+        gen, states, _ = cm.explore()
+        pi = steady_state(gen)
+        p1 = cm.count_reward("places", "P1")
+        counted_mean = float(pi @ np.array([p1(s) for s in states]))
+
+        full = parse_model(self.DEFS + "(P0 || P0) <eat> S;")
+        space = explore(full)
+        g2 = to_generator(space)
+        pi2 = steady_state(g2)
+        full_mean = float(pi2 @ space.derivative_count("P1"))
+        assert counted_mean == pytest.approx(full_mean, rel=1e-9)
+        assert gen.n_states < space.n_states  # aggregation really shrinks
+
+    def test_throughput_matches(self):
+        cm = CountedModel(
+            parse_model(self.DEFS + "S;"),
+            [FluidGroup("places", {"P0": 3}), FluidGroup("server", {"S": 1})],
+            synced={"eat"},
+        )
+        gen, states, _ = cm.explore()
+        pi = steady_state(gen)
+        x_counted = action_throughput(gen, pi, "eat")
+
+        full = parse_model(self.DEFS + "(P0 || P0 || P0) <eat> S;")
+        space = explore(full)
+        g2 = to_generator(space)
+        pi2 = steady_state(g2)
+        x_full = action_throughput(g2, pi2, "eat")
+        assert x_counted == pytest.approx(x_full, rel=1e-9)
+
+    def test_blocked_sync_fires_nothing(self):
+        """If every place is busy, 'eat' must be disabled."""
+        cm = CountedModel(
+            parse_model(self.DEFS + "S;"),
+            [FluidGroup("places", {"P1": 2}), FluidGroup("server", {"S": 1})],
+            synced={"eat"},
+        )
+        succ = cm._successors(cm.initial)
+        assert all(a != "eat" for a, _, _ in succ)
+
+    def test_all_passive_sync_rejected(self):
+        m = parse_model(
+            """
+            A0 = (go, infty).A1; A1 = (back, 1.0).A0;
+            B0 = (go, infty).B1; B1 = (back2, 1.0).B0;
+            A0;
+            """
+        )
+        cm = CountedModel(
+            m,
+            [FluidGroup("a", {"A0": 1}), FluidGroup("b", {"B0": 1})],
+            synced={"go"},
+        )
+        with pytest.raises(ValueError, match="no active participant"):
+            cm.explore()

@@ -1,0 +1,47 @@
+"""DOT export tests."""
+
+import pytest
+
+from repro.pepa import explore, parse_model
+from repro.pepa.dot import to_dot
+
+MODEL = """
+lam = 1.0; mu = 2.0;
+Idle = (arrive, lam).Busy;
+Busy = (serve, mu).Idle;
+Idle;
+"""
+
+
+class TestToDot:
+    def test_structure(self):
+        space = explore(parse_model(MODEL))
+        dot = to_dot(space, name="queue")
+        assert dot.startswith('digraph "queue"')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == space.n_transitions
+        assert 'label="Idle"' in dot
+        assert '"arrive, 1"' in dot
+
+    def test_initial_state_marked(self):
+        space = explore(parse_model(MODEL))
+        dot = to_dot(space)
+        line = next(l for l in dot.splitlines() if l.strip().startswith("s0 "))
+        assert "peripheries=2" in line
+
+    def test_custom_labels(self):
+        space = explore(parse_model(MODEL))
+        dot = to_dot(space, state_label=lambda i: f"state-{i}")
+        assert 'label="state-0"' in dot
+
+    def test_size_guard(self):
+        from repro.models.tags_pepa import TagsParameters, build_tags_model
+
+        space = explore(build_tags_model(TagsParameters(n=6, K1=10, K2=10)))
+        with pytest.raises(ValueError, match="raise max_states"):
+            to_dot(space)
+
+    def test_escaping(self):
+        space = explore(parse_model(MODEL))
+        dot = to_dot(space, name='with "quotes"')
+        assert 'digraph "with \\"quotes\\""' in dot

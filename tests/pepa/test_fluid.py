@@ -1,0 +1,118 @@
+"""Fluid (ODE) approximation tests.
+
+Validation strategy: for large replicated populations the fluid limit must
+match closed-form equilibria; for the degenerate single-copy case it is a
+mean-field approximation whose equilibrium we compare loosely against the
+exact CTMC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pepa import FluidGroup, FluidModel, parse_model
+
+REPAIR_MODEL = """
+brk = 1.0; fix = 4.0;
+Up = (break, brk).Down;
+Down = (repair, fix).Up;
+Up;
+"""
+
+
+class TestUnsyncedPopulation:
+    def test_two_state_relaxation(self):
+        """N independent Up/Down components: equilibrium fraction up =
+        fix / (brk + fix)."""
+        m = parse_model(REPAIR_MODEL)
+        fm = FluidModel(m, [FluidGroup("machines", {"Up": 100.0})], synced=set())
+        eq = fm.equilibrium(t_end=50.0)
+        assert eq["machines.Up"] == pytest.approx(100 * 4 / 5, rel=1e-4)
+        assert eq["machines.Down"] == pytest.approx(100 * 1 / 5, rel=1e-4)
+
+    def test_mass_conserved(self):
+        m = parse_model(REPAIR_MODEL)
+        fm = FluidModel(m, [FluidGroup("machines", {"Up": 10.0})], synced=set())
+        ts, traj = fm.solve(20.0, n_points=50)
+        total = traj["machines.Up"] + traj["machines.Down"]
+        np.testing.assert_allclose(total, 10.0, atol=1e-6)
+
+    def test_transient_matches_scalar_ode(self):
+        """dx/dt = -brk*x + fix*(N - x) has a closed-form solution."""
+        m = parse_model(REPAIR_MODEL)
+        N, brk, fix = 50.0, 1.0, 4.0
+        fm = FluidModel(m, [FluidGroup("g", {"Up": N})], synced=set())
+        ts, traj = fm.solve(2.0, n_points=30)
+        lam = brk + fix
+        x_inf = N * fix / lam
+        expected = x_inf + (N - x_inf) * np.exp(-lam * ts)
+        np.testing.assert_allclose(traj["g.Up"], expected, rtol=1e-5)
+
+
+SYNC_MODEL = """
+work = 2.0; rest = 1.0; sync = 10.0;
+C0 = (go, sync).C1;
+C1 = (done, work).C0;
+S0 = (go, sync).S1;
+S1 = (back, rest).S0;
+C0 <go> S0;
+"""
+
+
+class TestSyncedGroups:
+    def test_flow_limited_by_minimum(self):
+        m = parse_model(SYNC_MODEL)
+        fm = FluidModel(
+            m,
+            [FluidGroup("clients", {"C0": 100.0}), FluidGroup("servers", {"S0": 5.0})],
+            synced={"go"},
+        )
+        eq = fm.equilibrium(t_end=200.0)
+        # servers are the bottleneck: flow(go) <= 10 * 5
+        assert eq["clients.C0"] + eq["clients.C1"] == pytest.approx(100.0, abs=1e-5)
+        assert eq["servers.S0"] + eq["servers.S1"] == pytest.approx(5.0, abs=1e-6)
+        # balance: flow(go) = work * C1 = rest * S1 at equilibrium
+        flow_c = 2.0 * eq["clients.C1"]
+        flow_s = 1.0 * eq["servers.S1"]
+        assert flow_c == pytest.approx(flow_s, rel=1e-3)
+
+    def test_passive_group_throttles(self):
+        """A passive population near zero must throttle the flow rather
+        than go negative."""
+        m = parse_model(
+            """
+            mu = 5.0;
+            P0 = (eat, infty).P1;
+            P1 = (reset, 1.0).P0;
+            S = (eat, mu).S;
+            P0 <eat> S;
+            """
+        )
+        fm = FluidModel(
+            m,
+            [FluidGroup("places", {"P0": 0.5}), FluidGroup("server", {"S": 1.0})],
+            synced={"eat"},
+        )
+        ts, traj = fm.solve(10.0, n_points=100)
+        assert traj["places.P0"].min() >= -1e-9
+
+    def test_sync_needs_two_groups(self):
+        m = parse_model(REPAIR_MODEL)
+        with pytest.raises(ValueError, match="at least two"):
+            FluidModel(m, [FluidGroup("g", {"Up": 5.0})], synced={"break"})
+
+
+class TestValidation:
+    def test_unknown_initial_derivative(self):
+        m = parse_model(REPAIR_MODEL)
+        with pytest.raises(KeyError, match="undefined PEPA constant"):
+            FluidModel(m, [FluidGroup("g", {"Nope": 1.0})], synced=set())
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            FluidGroup("g", {"Up": -1.0})
+
+    def test_duplicate_group_names(self):
+        m = parse_model(REPAIR_MODEL)
+        gs = [FluidGroup("g", {"Up": 1.0}), FluidGroup("g", {"Up": 1.0})]
+        with pytest.raises(ValueError, match="duplicate"):
+            FluidModel(m, gs, synced=set())

@@ -1,0 +1,174 @@
+"""Parser tests: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.pepa import (
+    Choice,
+    Constant,
+    Cooperation,
+    Hiding,
+    PepaSyntaxError,
+    Prefix,
+    Rate,
+    parse_component,
+    parse_model,
+    top,
+)
+
+
+class TestBasics:
+    def test_single_definition(self):
+        m = parse_model("P = (a, 1.0).P;")
+        assert set(m.definitions) == {"P"}
+        body = m.definitions["P"]
+        assert isinstance(body, Prefix)
+        assert body.activity.action == "a"
+        assert body.activity.rate == Rate(1.0)
+        assert body.continuation == Constant("P")
+
+    def test_system_defaults_to_last_definition(self):
+        m = parse_model("P = (a, 1.0).Q; Q = (b, 1.0).P;")
+        assert m.system == Constant("Q")
+
+    def test_bare_system_equation(self):
+        m = parse_model("P = (a, 1.0).P; Q = (a, infty).Q; P <a> Q;")
+        assert isinstance(m.system, Cooperation)
+        assert m.system.actions == frozenset({"a"})
+
+    def test_comments(self):
+        m = parse_model(
+            """
+            // a rate
+            r = 2.0;  # trailing comment
+            P = (a, r).P;
+            """
+        )
+        assert m.definitions["P"].activity.rate == Rate(2.0)
+
+
+class TestRates:
+    def test_rate_constants_and_arithmetic(self):
+        m = parse_model("mu = 10.0; n = 4; P = (a, n * mu / 2 + 1).P;")
+        assert m.definitions["P"].activity.rate == Rate(21.0)
+
+    def test_passive(self):
+        m = parse_model("P = (a, infty).P;")
+        assert m.definitions["P"].activity.rate == top()
+
+    def test_weighted_passive(self):
+        m = parse_model("P = (a, 2 * infty).P;")
+        assert m.definitions["P"].activity.rate == top(2.0)
+
+    def test_T_alias(self):
+        m = parse_model("P = (a, T).P;")
+        assert m.definitions["P"].activity.rate.passive
+
+    def test_undefined_rate_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="undefined rate"):
+            parse_model("P = (a, nope).P;")
+
+    def test_scientific_notation(self):
+        m = parse_model("P = (a, 1e-3).P;")
+        assert m.definitions["P"].activity.rate == Rate(1e-3)
+
+    def test_bad_passive_arithmetic(self):
+        with pytest.raises(PepaSyntaxError):
+            parse_model("P = (a, infty + 1).P;")
+
+
+class TestOperators:
+    def test_choice(self):
+        m = parse_model("P = (a, 1.0).P + (b, 2.0).P;")
+        assert isinstance(m.definitions["P"], Choice)
+
+    def test_choice_left_assoc(self):
+        m = parse_model("P = (a, 1.0).P + (b, 1.0).P + (c, 1.0).P;")
+        body = m.definitions["P"]
+        assert isinstance(body, Choice) and isinstance(body.left, Choice)
+
+    def test_cooperation_set(self):
+        c = parse_component("P <a, b> Q")
+        assert c == Cooperation(Constant("P"), Constant("Q"), frozenset({"a", "b"}))
+
+    def test_parallel_shorthand(self):
+        c = parse_component("P || Q")
+        assert c == Cooperation(Constant("P"), Constant("Q"), frozenset())
+
+    def test_empty_angle_brackets(self):
+        c = parse_component("P <> Q")
+        assert c.actions == frozenset()
+
+    def test_hiding(self):
+        c = parse_component("P / {a, b}")
+        assert isinstance(c, Hiding)
+        assert c.actions == frozenset({"a", "b"})
+
+    def test_hiding_binds_tighter_than_coop(self):
+        c = parse_component("P / {a} <b> Q")
+        assert isinstance(c, Cooperation)
+        assert isinstance(c.left, Hiding)
+
+    def test_nested_prefix(self):
+        m = parse_model("P = (a, 1.0).(b, 2.0).P;")
+        body = m.definitions["P"]
+        assert isinstance(body.continuation, Prefix)
+        assert body.continuation.activity.action == "b"
+
+    def test_parenthesised_choice_in_prefix(self):
+        m = parse_model("P = (a, 1.0).((b, 1.0).P + (c, 1.0).P);")
+        assert isinstance(m.definitions["P"].continuation, Choice)
+
+    def test_coop_left_assoc(self):
+        c = parse_component("P <a> Q <b> R")
+        assert isinstance(c, Cooperation)
+        assert c.actions == frozenset({"b"})
+        assert isinstance(c.left, Cooperation)
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(PepaSyntaxError, match="unexpected character"):
+            parse_model("P = (a, 1.0).P ~ Q;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(PepaSyntaxError):
+            parse_model("P = (a, 1.0).P Q = (b, 1.0).Q;")
+
+    def test_lowercase_component_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="rate"):
+            parse_model("P = (a, 1.0).q;")
+
+    def test_empty_model(self):
+        with pytest.raises(PepaSyntaxError, match="empty"):
+            parse_model("   // nothing\n")
+
+    def test_two_system_equations(self):
+        with pytest.raises(PepaSyntaxError, match="second system"):
+            parse_model("P = (a, 1.0).P; P; P;")
+
+    def test_trailing_garbage_component(self):
+        with pytest.raises(PepaSyntaxError, match="trailing"):
+            parse_component("P Q")
+
+
+class TestRoundTrip:
+    def test_parse_explore_smoke(self):
+        """Full pipeline on a tiny queue."""
+        from repro.pepa import explore, to_generator
+        from repro.ctmc import steady_state
+
+        m = parse_model(
+            """
+            lam = 1.0; mu = 2.0;
+            Q0 = (arrive, lam).Q1;
+            Q1 = (arrive, lam).Q2 + (serve, mu).Q0;
+            Q2 = (serve, mu).Q1;
+            Q0;
+            """
+        )
+        space = explore(m)
+        assert space.n_states == 3
+        pi = steady_state(to_generator(space))
+        # M/M/1/2 with rho = 0.5: pi ~ (1, .5, .25)/1.75
+        assert pi[0] == pytest.approx(4 / 7)
+        assert pi[2] == pytest.approx(1 / 7)

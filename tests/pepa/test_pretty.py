@@ -1,0 +1,81 @@
+"""Pretty-printer tests: round-trip through the parser."""
+
+import pytest
+
+from repro.pepa import (
+    explore,
+    parse_component,
+    parse_model,
+    pretty_component,
+    pretty_model,
+)
+from repro.models.tags_pepa import TagsParameters, build_tags_model
+
+
+class TestComponentRoundTrip:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "P",
+            "(a, 1.5).P",
+            "(a, 1.5).(b, 2.0).P",
+            "(a, 1.0).P + (b, 2.0).Q",
+            "(a, infty).P",
+            "(a, 2.0 * infty).P",
+            "P / {a, b}",
+            "P <a, b> Q",
+            "P || Q",
+            "P <a> Q <b> R",
+            "(P + Q) / {x}",
+            "(a, 1.0).(P <x> Q)",
+        ],
+    )
+    def test_roundtrip(self, src):
+        comp = parse_component(src)
+        text = pretty_component(comp)
+        assert parse_component(text) == comp
+
+    def test_nested_coop_right(self):
+        from repro.pepa import Cooperation, Constant
+
+        comp = Cooperation(
+            Constant("P"),
+            Cooperation(Constant("Q"), Constant("R"), frozenset({"b"})),
+            frozenset({"a"}),
+        )
+        text = pretty_component(comp)
+        assert parse_component(text) == comp
+
+
+class TestModelRoundTrip:
+    def test_simple_model(self):
+        m = parse_model(
+            """
+            lam = 1.0; mu = 2.0;
+            Idle = (arrive, lam).Busy;
+            Busy = (serve, mu).Idle + (fail, 0.5).Idle;
+            Idle;
+            """
+        )
+        m2 = parse_model(pretty_model(m))
+        assert m2.definitions == dict(m.definitions)
+        assert m2.system == m.system
+
+    def test_tags_model_roundtrip_same_state_space(self):
+        """The full Figure 3 model survives print -> parse with an
+        identical reachable state space and transitions."""
+        p = TagsParameters(lam=5, mu=10, t=51, n=3, K1=4, K2=4)
+        m = build_tags_model(p)
+        m2 = parse_model(pretty_model(m))
+        s1, s2 = explore(m), explore(m2)
+        assert s1.n_states == s2.n_states
+        assert s1.n_transitions == s2.n_transitions
+        assert sorted(zip(s1.src, s1.dst, s1.rate, s1.action)) == sorted(
+            zip(s2.src, s2.dst, s2.rate, s2.action)
+        )
+
+    def test_output_is_deterministic(self):
+        p = TagsParameters(n=2, K1=2, K2=2)
+        a = pretty_model(build_tags_model(p))
+        b = pretty_model(build_tags_model(p))
+        assert a == b

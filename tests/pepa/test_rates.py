@@ -1,0 +1,66 @@
+"""Rate algebra tests (the T-calculus)."""
+
+import pytest
+
+from repro.pepa import Rate, top
+from repro.pepa.rates import ACTIVE, MixedRateError
+
+
+class TestConstruction:
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            Rate(0.0)
+        with pytest.raises(ValueError):
+            Rate(-1.0, passive=True)
+
+    def test_top_default_weight(self):
+        assert top().value == 1.0
+        assert top().passive
+
+    def test_active_helper(self):
+        r = ACTIVE(2.5)
+        assert not r.passive and r.value == 2.5
+
+
+class TestAddition:
+    def test_actives_add(self):
+        assert (Rate(1.0) + Rate(2.0)).value == 3.0
+
+    def test_passives_add_weights(self):
+        s = top(2.0) + top(3.0)
+        assert s.passive and s.value == 5.0
+
+    def test_mixed_raises(self):
+        with pytest.raises(MixedRateError):
+            Rate(1.0) + top()
+
+
+class TestMin:
+    def test_active_beats_passive(self):
+        assert Rate(5.0).min_with(top(0.1)) == Rate(5.0)
+        assert top(0.1).min_with(Rate(5.0)) == Rate(5.0)
+
+    def test_actives_compare_by_value(self):
+        assert Rate(2.0).min_with(Rate(3.0)) == Rate(2.0)
+
+    def test_passives_compare_by_weight(self):
+        assert top(2.0).min_with(top(1.0)) == top(1.0)
+
+
+class TestRatio:
+    def test_active_ratio(self):
+        assert Rate(1.0).ratio_to(Rate(4.0)) == 0.25
+
+    def test_passive_ratio(self):
+        assert top(3.0).ratio_to(top(4.0)) == 0.75
+
+    def test_mixed_ratio_raises(self):
+        with pytest.raises(MixedRateError):
+            Rate(1.0).ratio_to(top())
+
+
+class TestRepr:
+    def test_display(self):
+        assert repr(top()) == "T"
+        assert repr(top(2.0)) == "2*T"
+        assert repr(Rate(1.5)) == "1.5"

@@ -1,0 +1,181 @@
+"""Operational-semantics tests: SOS rules, apparent rates, cooperation."""
+
+import pytest
+
+from repro.pepa import (
+    Activity,
+    Choice,
+    Constant,
+    Cooperation,
+    Hiding,
+    Model,
+    Prefix,
+    Rate,
+    TAU,
+    apparent_rate,
+    top,
+    transitions,
+)
+from repro.pepa.rates import MixedRateError
+
+
+def act(name, rate, cont):
+    r = rate if isinstance(rate, Rate) else Rate(rate)
+    return Prefix(Activity(name, r), cont)
+
+
+P = Constant("P")
+Q = Constant("Q")
+
+
+def model(defs, system):
+    return Model(defs, system)
+
+
+class TestPrefixChoice:
+    def test_prefix_single_transition(self):
+        m = model({"P": act("a", 2.0, P)}, P)
+        trs = transitions(P, m)
+        assert trs == (("a", Rate(2.0), P),)
+
+    def test_choice_unions(self):
+        body = Choice(act("a", 1.0, P), act("b", 2.0, Q))
+        m = model({"P": body, "Q": act("c", 1.0, P)}, P)
+        trs = transitions(P, m)
+        assert {(a, r.value) for a, r, _ in trs} == {("a", 1.0), ("b", 2.0)}
+
+    def test_multi_transition_duplicates_kept(self):
+        """(a, r).P + (a, r).P enables a at apparent rate 2r."""
+        body = Choice(act("a", 1.5, P), act("a", 1.5, P))
+        m = model({"P": body}, P)
+        trs = transitions(P, m)
+        assert len(trs) == 2
+        assert apparent_rate(P, "a", m).value == 3.0
+
+    def test_unguarded_recursion_detected(self):
+        m = model({"P": Choice(Constant("P"), act("a", 1.0, P))}, P)
+        with pytest.raises(RecursionError, match="unguarded"):
+            transitions(P, m)
+
+
+class TestHiding:
+    def test_hidden_becomes_tau(self):
+        m = model({"P": act("a", 2.0, P)}, P)
+        h = Hiding(P, frozenset({"a"}))
+        trs = transitions(h, m)
+        assert trs[0][0] == TAU
+        assert trs[0][1] == Rate(2.0)
+        # successor stays hidden
+        assert isinstance(trs[0][2], Hiding)
+
+    def test_unhidden_passes_through(self):
+        m = model({"P": act("a", 2.0, P)}, P)
+        h = Hiding(P, frozenset({"zzz"}))
+        assert transitions(h, m)[0][0] == "a"
+
+    def test_tau_not_allowed_in_coop_set(self):
+        with pytest.raises(ValueError):
+            Cooperation(P, Q, frozenset({TAU}))
+
+
+class TestInterleaving:
+    def test_unshared_actions_interleave(self):
+        m = model({"P": act("a", 1.0, P), "Q": act("b", 2.0, Q)}, P)
+        c = Cooperation(P, Q, frozenset())
+        trs = transitions(c, m)
+        assert {(a, r.value) for a, r, _ in trs} == {("a", 1.0), ("b", 2.0)}
+
+    def test_same_action_unshared_both_fire(self):
+        m = model({"P": act("a", 1.0, P), "Q": act("a", 2.0, Q)}, P)
+        c = Cooperation(P, Q, frozenset())
+        trs = transitions(c, m)
+        assert len(trs) == 2
+        assert apparent_rate(c, "a", m).value == 3.0
+
+
+class TestCooperation:
+    def test_shared_rate_is_minimum(self):
+        """Single a-activity each side: shared rate = min(r1, r2)."""
+        m = model({"P": act("a", 1.0, P), "Q": act("a", 5.0, Q)}, P)
+        c = Cooperation(P, Q, frozenset({"a"}))
+        trs = transitions(c, m)
+        assert len(trs) == 1
+        assert trs[0][1] == Rate(1.0)
+
+    def test_passive_adopts_active_rate(self):
+        m = model({"P": act("a", 3.0, P), "Q": act("a", top(), Q)}, P)
+        c = Cooperation(P, Q, frozenset({"a"}))
+        trs = transitions(c, m)
+        assert trs[0][1] == Rate(3.0)
+
+    def test_blocked_when_one_side_disabled(self):
+        m = model({"P": act("a", 3.0, P), "Q": act("b", 1.0, Q)}, P)
+        c = Cooperation(P, Q, frozenset({"a", "b"}))
+        assert transitions(c, m) == ()
+
+    def test_apparent_rate_formula_with_branching(self):
+        """Hillston's canonical example: P enables a at rates r1+r2, Q at
+        R; each combined transition gets (ri/(r1+r2)) * min(r1+r2, R)."""
+        P1, P2, Q1 = Constant("P1"), Constant("P2"), Constant("Q1")
+        m = model(
+            {
+                "P": Choice(act("a", 2.0, P1), act("a", 6.0, P2)),
+                "P1": act("x", 1.0, Constant("P")),
+                "P2": act("x", 1.0, Constant("P")),
+                "Q": act("a", 4.0, Q1),
+                "Q1": act("y", 1.0, Q),
+            },
+            P,
+        )
+        c = Cooperation(Constant("P"), Constant("Q"), frozenset({"a"}))
+        trs = transitions(c, m)
+        # apparent rates: P -> 8, Q -> 4; min = 4
+        rates = sorted(r.value for _, r, _ in trs)
+        assert rates == pytest.approx([0.25 * 4.0, 0.75 * 4.0])
+        assert apparent_rate(c, "a", m).value == pytest.approx(4.0)
+
+    def test_two_passives_combine_weights(self):
+        m = model(
+            {"P": act("a", top(2.0), P), "Q": act("a", top(4.0), Q)}, P
+        )
+        c = Cooperation(P, Q, frozenset({"a"}))
+        trs = transitions(c, m)
+        assert trs[0][1].passive
+        assert trs[0][1].value == pytest.approx(2.0)  # min(2,4) * 1 * 1
+
+    def test_three_way_sync_through_nesting(self):
+        """timeout-style sync: (A <a> B) <a> C with A active."""
+        A, B, C = Constant("A"), Constant("B"), Constant("C")
+        m = model(
+            {
+                "A": act("a", 7.0, A),
+                "B": act("a", top(), B),
+                "C": act("a", top(), C),
+            },
+            A,
+        )
+        inner = Cooperation(A, B, frozenset({"a"}))
+        outer = Cooperation(inner, C, frozenset({"a"}))
+        trs = transitions(outer, m)
+        assert len(trs) == 1
+        assert trs[0][1] == Rate(7.0)
+
+    def test_mixed_rates_same_action_rejected(self):
+        m = model(
+            {"P": Choice(act("a", 1.0, P), act("a", top(), P)), "Q": act("a", 1.0, Q)},
+            P,
+        )
+        c = Cooperation(P, Q, frozenset({"a"}))
+        with pytest.raises(MixedRateError):
+            transitions(c, m)
+
+
+class TestApparentRate:
+    def test_disabled_action_none(self):
+        m = model({"P": act("a", 1.0, P)}, P)
+        assert apparent_rate(P, "b", m) is None
+
+    def test_passive_apparent_rate_sums_weights(self):
+        m = model({"P": Choice(act("a", top(1.0), P), act("a", top(2.0), P))}, P)
+        r = apparent_rate(P, "a", m)
+        assert r.passive and r.value == 3.0

@@ -1,0 +1,112 @@
+"""State-space exploration and CTMC-mapping tests."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import action_throughput, steady_state
+from repro.pepa import (
+    PassiveRateError,
+    explore,
+    parse_model,
+    to_generator,
+)
+
+MM1K = """
+lam = 3.0; mu = 5.0;
+Q0 = (arrive, lam).Q1;
+Q1 = (arrive, lam).Q2 + (serve, mu).Q0;
+Q2 = (arrive, lam).Q3 + (serve, mu).Q1;
+Q3 = (serve, mu).Q2 + (drop, lam).Q3;
+Q0;
+"""
+
+
+class TestExploration:
+    def test_counts_states(self):
+        space = explore(parse_model(MM1K))
+        assert space.n_states == 4
+
+    def test_initial_state_is_zero(self):
+        space = explore(parse_model(MM1K))
+        assert space.initial == 0
+        assert space.local_names(0) == ("Q0",)
+
+    def test_transition_rates(self):
+        space = explore(parse_model(MM1K))
+        gen = to_generator(space)
+        pi = steady_state(gen)
+        rho = 0.6
+        exact = rho ** np.arange(4)
+        exact /= exact.sum()
+        np.testing.assert_allclose(sorted(pi, reverse=True), sorted(exact, reverse=True), atol=1e-9)
+
+    def test_passive_at_top_level_raises(self):
+        m = parse_model("P = (a, infty).P;")
+        with pytest.raises(PassiveRateError, match="passive"):
+            explore(m)
+
+    def test_max_states_guard(self):
+        with pytest.raises(MemoryError):
+            explore(parse_model(MM1K), max_states=2)
+
+    def test_self_loop_recorded_for_actions(self):
+        space = explore(parse_model(MM1K))
+        gen = to_generator(space)
+        pi = steady_state(gen)
+        # the drop self-loop only fires in Q3, at rate lam
+        q3 = next(i for i in range(4) if space.local_names(i) == ("Q3",))
+        assert action_throughput(gen, pi, "drop") == pytest.approx(3.0 * pi[q3])
+
+
+class TestCooperativeModel:
+    MODEL = """
+    lam = 2.0; mu = 3.0;
+    Job0 = (submit, lam).Job1;
+    Job1 = (done, infty).Job0;
+    Srv = (done, mu).Srv;
+    Job0 <done> Srv;
+    """
+
+    def test_passive_closed_by_cooperation(self):
+        space = explore(parse_model(self.MODEL))
+        assert space.n_states == 2
+        gen = to_generator(space)
+        pi = steady_state(gen)
+        np.testing.assert_allclose(pi, [0.6, 0.4])
+
+    def test_local_names_flatten(self):
+        space = explore(parse_model(self.MODEL))
+        names = space.local_names(0)
+        assert names == ("Job0", "Srv")
+
+    def test_derivative_count(self):
+        space = explore(parse_model(self.MODEL))
+        counts = space.derivative_count("Job1")
+        assert sorted(counts) == [0.0, 1.0]
+
+
+class TestDeadlocks:
+    def test_no_deadlocks_in_live_model(self):
+        m = parse_model("P = (a, 1.0).Q; Q = (x, 1.0).Q; P;")
+        assert explore(m).find_deadlocks().size == 0
+
+    def test_blocked_cooperation_deadlocks(self):
+        # after the a-sync, P2 wants b (needs Q2) and Q2 wants c (needs P2):
+        # total deadlock
+        m = parse_model(
+            """
+            P = (a, 1.0).P2;  P2 = (b, 1.0).P2;
+            Q = (a, infty).Q2; Q2 = (c, 1.0).Q2;
+            P <a, b, c> Q;
+            """
+        )
+        space = explore(m)
+        assert space.find_deadlocks().size == 1
+
+
+class TestRewardHelpers:
+    def test_state_reward_vectorisation(self):
+        space = explore(parse_model(MM1K))
+        idx = {space.local_names(i)[0]: i for i in range(4)}
+        r = space.state_reward(lambda names: float(names[0][1:]))
+        assert r[idx["Q2"]] == 2.0

@@ -1,0 +1,79 @@
+"""AST construction and operator-sugar tests."""
+
+import pytest
+
+from repro.pepa import (
+    Activity,
+    Choice,
+    Constant,
+    Cooperation,
+    Hiding,
+    Model,
+    Prefix,
+    Rate,
+    TAU,
+    prefix_chain,
+)
+
+
+class TestOperatorSugar:
+    def test_plus_builds_choice(self):
+        p, q = Constant("P"), Constant("Q")
+        assert p + q == Choice(p, q)
+
+    def test_pipe_builds_parallel(self):
+        p, q = Constant("P"), Constant("Q")
+        c = p | q
+        assert isinstance(c, Cooperation) and c.actions == frozenset()
+
+    def test_coop_method(self):
+        p, q = Constant("P"), Constant("Q")
+        c = p.coop(q, {"a"})
+        assert c.actions == frozenset({"a"})
+
+    def test_hide_method(self):
+        p = Constant("P")
+        h = p.hide({"a", "b"})
+        assert isinstance(h, Hiding) and h.actions == frozenset({"a", "b"})
+
+
+class TestPrefixChain:
+    def test_builds_sequence(self):
+        acts = [Activity("a", Rate(1.0)), Activity("b", Rate(2.0))]
+        comp = prefix_chain(*acts, then=Constant("P"))
+        assert isinstance(comp, Prefix)
+        assert comp.activity.action == "a"
+        assert comp.continuation.activity.action == "b"
+        assert comp.continuation.continuation == Constant("P")
+
+    def test_empty_chain_is_target(self):
+        assert prefix_chain(then=Constant("P")) == Constant("P")
+
+
+class TestInvariants:
+    def test_tau_banned_in_cooperation(self):
+        with pytest.raises(ValueError, match="tau"):
+            Cooperation(Constant("P"), Constant("Q"), frozenset({TAU}))
+
+    def test_components_hashable_and_equal(self):
+        a = Prefix(Activity("x", Rate(1.0)), Constant("P"))
+        b = Prefix(Activity("x", Rate(1.0)), Constant("P"))
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_model_resolve_missing(self):
+        m = Model({"P": Constant("P")}, Constant("P"))
+        with pytest.raises(KeyError, match="undefined PEPA constant"):
+            m.resolve("Nope")
+
+    def test_model_definitions_copied(self):
+        defs = {"P": Constant("P")}
+        m = Model(defs, Constant("P"))
+        defs["Q"] = Constant("Q")
+        assert "Q" not in m.definitions
+
+    def test_reprs_are_readable(self):
+        comp = Prefix(Activity("go", Rate(2.0)), Constant("P"))
+        assert repr(comp) == "(go, 2).P"
+        h = Hiding(Constant("P"), frozenset({"a"}))
+        assert repr(h) == "(P/{a})"

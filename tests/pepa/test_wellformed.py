@@ -1,0 +1,87 @@
+"""Well-formedness check tests."""
+
+import pytest
+
+from repro.pepa import (
+    WellFormednessError,
+    alphabet,
+    check_model,
+    parse_model,
+)
+
+
+class TestUndefinedConstants:
+    def test_detects_undefined(self):
+        m = parse_model("P = (a, 1.0).Nope; P;")
+        with pytest.raises(WellFormednessError, match="Nope"):
+            check_model(m)
+
+    def test_clean_model_passes(self):
+        m = parse_model("P = (a, 1.0).Q; Q = (b, 1.0).P; P;")
+        report = check_model(m)
+        assert report.warnings == []
+
+
+class TestGuardedness:
+    def test_direct_self_reference(self):
+        m = parse_model("P = P + (a, 1.0).P; P;")
+        with pytest.raises(WellFormednessError, match="unguarded"):
+            check_model(m)
+
+    def test_mutual_unguarded_cycle(self):
+        m = parse_model("P = Q + (a, 1.0).P; Q = P + (b, 1.0).Q; P;")
+        with pytest.raises(WellFormednessError, match="unguarded"):
+            check_model(m)
+
+    def test_guarded_recursion_ok(self):
+        m = parse_model("P = (a, 1.0).P; P;")
+        check_model(m)
+
+
+class TestMixedRates:
+    def test_active_and_passive_same_action(self):
+        m = parse_model("P = (a, 1.0).P + (a, infty).P; P;")
+        with pytest.raises(WellFormednessError, match="both active and passive"):
+            check_model(m)
+
+    def test_different_actions_ok(self):
+        m = parse_model("P = (a, 1.0).P + (b, infty).P; Q = (b, 1.0).Q; P <b> Q;")
+        check_model(m)
+
+
+class TestCooperationWarnings:
+    def test_action_nobody_performs(self):
+        m = parse_model("P = (a, 1.0).P; Q = (b, 1.0).Q; P <zzz> Q;")
+        report = check_model(m)
+        assert any("zzz" in w and "neither side" in w for w in report.warnings)
+
+    def test_action_one_side_never_performs(self):
+        m = parse_model("P = (a, 1.0).P; Q = (b, 1.0).Q; P <a> Q;")
+        report = check_model(m)
+        assert any("permanently blocks" in w for w in report.warnings)
+
+    def test_catches_figure3_style_typo(self):
+        """Misspelling service1 in the cooperation set must warn."""
+        m = parse_model(
+            """
+            Q1 = (service1, 1.0).Q1;
+            T1 = (servcie1, infty).T1;   // typo on the timer side
+            Q1 <servcie1, service1> T1;
+            """
+        )
+        report = check_model(m)
+        assert len(report.warnings) == 2
+
+
+class TestAlphabet:
+    def test_collects_through_constants(self):
+        m = parse_model("P = (a, 1.0).Q; Q = (b, 1.0).P; P;")
+        assert alphabet(m.system, m) == {"a", "b"}
+
+    def test_hiding_masks(self):
+        m = parse_model("P = (a, 1.0).P + (b, 1.0).P; P / {a};")
+        assert alphabet(m.system, m) == {"b"}
+
+    def test_cyclic_definitions_terminate(self):
+        m = parse_model("P = (a, 1.0).Q; Q = (b, 1.0).P; P <a> Q;")
+        assert alphabet(m.system, m) == {"a", "b"}

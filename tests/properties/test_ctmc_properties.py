@@ -1,0 +1,87 @@
+"""Property-based tests of the CTMC substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc import Generator, steady_state, transient_distribution
+from repro.ctmc.steady import steady_state_direct, steady_state_gth
+
+
+@st.composite
+def irreducible_generators(draw, max_states: int = 12):
+    """Random irreducible generators: a ring plus random extra edges."""
+    n = draw(st.integers(2, max_states))
+    rates = draw(
+        st.lists(
+            st.floats(0.05, 20.0, allow_nan=False),
+            min_size=2 * n,
+            max_size=2 * n,
+        )
+    )
+    src = list(range(n)) + [(i + 1) % n for i in range(n)]
+    dst = [(i + 1) % n for i in range(n)] + list(range(n))
+    extra = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                      st.floats(0.05, 5.0)),
+            max_size=10,
+        )
+    )
+    for a, b, r in extra:
+        if a != b:
+            src.append(a)
+            dst.append(b)
+            rates.append(r)
+    return Generator.from_triples(n, src, dst, rates[: len(src)])
+
+
+class TestSteadyStateProperties:
+    @given(irreducible_generators())
+    @settings(max_examples=40, deadline=None)
+    def test_is_stationary_distribution(self, g):
+        pi = steady_state(g)
+        assert pi.min() >= 0
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.abs(pi @ g.Q.toarray()).max() < 1e-7 * max(
+            1.0, g.uniformization_rate
+        )
+
+    @given(irreducible_generators())
+    @settings(max_examples=25, deadline=None)
+    def test_gth_and_direct_agree(self, g):
+        np.testing.assert_allclose(
+            steady_state_gth(g), steady_state_direct(g), atol=1e-7
+        )
+
+    @given(irreducible_generators(), st.floats(0.01, 5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_steady_state_invariant_under_uniform_scaling(self, g, c):
+        """pi(cQ) == pi(Q): time-rescaling does not move the stationary
+        distribution."""
+        g2 = Generator(g.Q * c, validate=False)
+        np.testing.assert_allclose(steady_state(g), steady_state(g2), atol=1e-7)
+
+
+class TestTransientProperties:
+    @given(irreducible_generators(), st.floats(0.0, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_distribution_stays_normalised(self, g, t):
+        p0 = np.zeros(g.n_states)
+        p0[0] = 1.0
+        pt = transient_distribution(g, p0, t)
+        assert pt.min() >= -1e-12
+        assert pt.sum() == pytest.approx(1.0)
+
+    @given(irreducible_generators(), st.floats(0.05, 1.5), st.floats(0.05, 1.5))
+    @settings(max_examples=15, deadline=None)
+    def test_chapman_kolmogorov(self, g, t1, t2):
+        """p(t1 + t2) reached directly equals stepping through t1."""
+        p0 = np.zeros(g.n_states)
+        p0[0] = 1.0
+        direct = transient_distribution(g, p0, t1 + t2)
+        stepped = transient_distribution(
+            g, transient_distribution(g, p0, t1), t2
+        )
+        np.testing.assert_allclose(direct, stepped, atol=1e-8)

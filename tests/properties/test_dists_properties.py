@@ -1,0 +1,93 @@
+"""Property-based tests of the phase-type machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dists import (
+    Erlang,
+    Exponential,
+    HyperExponential,
+    h2_balanced_means,
+    h2_from_mean_scv,
+)
+from repro.dists.residual import (
+    erlang_vs_exp_timeout_probability,
+    h2_residual_mixing,
+)
+
+rates = st.floats(0.01, 100.0, allow_nan=False, allow_infinity=False)
+probs = st.floats(0.01, 0.99)
+shapes = st.integers(1, 20)
+
+
+class TestFamilyInvariants:
+    @given(shapes, rates)
+    def test_erlang_scv_is_inverse_shape(self, k, r):
+        d = Erlang(k, r)
+        assert d.scv == pytest.approx(1.0 / k, rel=1e-6)
+        assert d.mean == pytest.approx(k / r, rel=1e-9)
+
+    @given(probs, rates, rates)
+    def test_hyperexp_scv_at_least_one(self, a, r1, r2):
+        d = HyperExponential.h2(a, r1, r2)
+        assert d.scv >= 1.0 - 1e-9
+
+    @given(probs, rates, rates)
+    def test_hyperexp_mean_formula(self, a, r1, r2):
+        d = HyperExponential.h2(a, r1, r2)
+        assert d.mean == pytest.approx(a / r1 + (1 - a) / r2, rel=1e-9)
+
+    @given(probs, rates, rates, st.floats(0.0, 10.0))
+    def test_cdf_bounds_and_monotonicity(self, a, r1, r2, x):
+        d = HyperExponential.h2(a, r1, r2)
+        f1 = float(d.cdf(np.array([x]))[0])
+        f2 = float(d.cdf(np.array([x + 0.5]))[0])
+        assert 0.0 <= f1 <= f2 <= 1.0
+
+    @given(st.floats(0.01, 10.0), probs, st.floats(1.5, 500.0))
+    def test_balanced_means_constructor(self, mean, a, ratio):
+        d = h2_balanced_means(mean, a, ratio)
+        assert d.mean == pytest.approx(mean, rel=1e-9)
+        assert d.rates[0] == pytest.approx(ratio * d.rates[1], rel=1e-9)
+
+    @given(st.floats(0.01, 10.0), st.floats(1.0, 50.0))
+    def test_mean_scv_roundtrip(self, mean, scv):
+        d = h2_from_mean_scv(mean, scv)
+        assert d.mean == pytest.approx(mean, rel=1e-8)
+        assert d.scv == pytest.approx(scv, rel=1e-6)
+
+
+class TestResidualInvariants:
+    @given(rates, rates, shapes)
+    def test_timeout_probability_in_unit_interval(self, t, mu, k):
+        p = erlang_vs_exp_timeout_probability(t, mu, k)
+        assert 0.0 < p < 1.0
+
+    @given(rates, rates, shapes)
+    def test_timeout_probability_decreases_in_mu(self, t, mu, k):
+        p1 = erlang_vs_exp_timeout_probability(t, mu, k)
+        p2 = erlang_vs_exp_timeout_probability(t, mu * 2, k)
+        assert p2 < p1
+
+    @given(rates, probs, rates, rates, shapes)
+    def test_residual_mixing_tilts_towards_long(self, t, a, m1, m2, k):
+        """If mu1 >= mu2 (short jobs faster), alpha' <= alpha."""
+        mu1, mu2 = max(m1, m2), min(m1, m2)
+        assume(mu1 > mu2)
+        ap = h2_residual_mixing(t, a, mu1, mu2, k)
+        assert 0.0 <= ap <= a + 1e-12
+
+    @given(rates, probs, rates, shapes)
+    def test_equal_rates_identity(self, t, a, mu, k):
+        assert h2_residual_mixing(t, a, mu, mu, k) == pytest.approx(a)
+
+
+class TestSamplingLaws:
+    @given(probs, st.floats(0.5, 20.0))
+    @settings(max_examples=10, deadline=None)
+    def test_h2_sample_mean(self, a, r1):
+        d = HyperExponential.h2(a, r1, r1 / 5.0)
+        xs = d.sample(20_000, np.random.default_rng(0))
+        assert xs.mean() == pytest.approx(d.mean, rel=0.1)

@@ -1,0 +1,125 @@
+"""Property-based tests of the queueing models and the batch calculator."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.batch import tags_batch_completion_times, tags_batch_mean_response
+from repro.dists import Exponential
+from repro.models import MM1K, MPH1K, ShortestQueue, TagsExponential
+
+rates = st.floats(0.5, 30.0, allow_nan=False)
+small_caps = st.integers(1, 6)
+
+
+class TestMM1KProperties:
+    @given(rates, rates, st.integers(1, 30))
+    def test_flow_balance(self, lam, mu, K):
+        q = MM1K(lam, mu, K)
+        assert q.throughput + q.loss_rate == pytest.approx(lam, rel=1e-9)
+
+    @given(rates, rates, st.integers(1, 20))
+    def test_mph1k_degeneracy(self, lam, mu, K):
+        ana = MM1K(lam, mu, K)
+        ph = MPH1K(lam, Exponential(mu), K)
+        assert ph.mean_jobs == pytest.approx(ana.mean_jobs, rel=1e-7)
+
+    @given(rates, rates, st.integers(1, 15))
+    def test_capacity_monotone(self, lam, mu, K):
+        """More room never reduces throughput."""
+        a = MM1K(lam, mu, K)
+        b = MM1K(lam, mu, K + 1)
+        assert b.throughput >= a.throughput - 1e-12
+
+
+class TestTagsChainProperties:
+    @given(
+        st.floats(1.0, 14.0),
+        st.floats(5.0, 15.0),
+        st.floats(2.0, 120.0),
+        st.integers(1, 4),
+        small_caps,
+        small_caps,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_flow_conservation_and_bounds(self, lam, mu, t, n, K1, K2):
+        m = TagsExponential(lam=lam, mu=mu, t=t, n=n, K1=K1, K2=K2).metrics()
+        assert m.throughput + m.loss_rate == pytest.approx(lam, abs=1e-7)
+        assert 0 <= m.mean_jobs_per_node[0] <= K1 + 1e-9
+        assert 0 <= m.mean_jobs_per_node[1] <= K2 + 1e-9
+        assert m.loss_per_node[0] >= -1e-10
+        assert m.loss_per_node[1] >= -1e-10
+
+    @given(st.floats(1.0, 14.0), st.floats(2.0, 120.0))
+    @settings(max_examples=15, deadline=None)
+    def test_state_count_formula(self, lam, t):
+        n, K1, K2 = 3, 4, 5
+        m = TagsExponential(lam=lam, mu=10.0, t=t, n=n, K1=K1, K2=K2)
+        assert m.n_states == (K1 * n + 1) * (K2 * (n + 1) + 1)
+
+
+class TestJsqProperties:
+    @given(st.floats(1.0, 25.0), rates, st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_jsq_beats_or_ties_random_exponential(self, lam, mu, K):
+        """JSQ is the optimal policy for exponential service."""
+        from repro.models import RandomAllocation
+
+        jsq = ShortestQueue(lam=lam, service=mu, K=K).metrics()
+        rnd = RandomAllocation(lam=lam, service=mu, K=K).metrics()
+        # Throughput is the universally valid comparison: population and
+        # even per-job response time can be larger under JSQ because it
+        # admits jobs random would have dropped (e.g. overload at small K)
+        assert jsq.throughput >= rnd.throughput - 1e-9
+
+    @given(st.floats(1.0, 12.0), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_jsq_response_time_under_moderate_load(self, lam, K):
+        """With both queues jointly underloaded (rho <= 0.75) loss is
+        second-order and JSQ's response time wins too."""
+        from repro.models import RandomAllocation
+
+        mu = lam / 1.5  # joint utilisation 0.75
+        jsq = ShortestQueue(lam=lam, service=mu, K=K).metrics()
+        rnd = RandomAllocation(lam=lam, service=mu, K=K).metrics()
+        assert jsq.response_time <= rnd.response_time + 1e-9
+
+
+class TestBatchProperties:
+    demands = st.lists(st.floats(0.1, 50.0), min_size=1, max_size=12)
+
+    @given(demands)
+    def test_completion_at_least_demand(self, ds):
+        c = tags_batch_completion_times(ds, ())
+        assert np.all(c >= np.asarray(ds) - 1e-12)
+
+    @given(demands, st.floats(0.1, 100.0))
+    def test_conservation_single_node_work(self, ds, tau):
+        """Total completion span at node 1 never exceeds the no-timeout
+        makespan (killing only removes work from node 1)."""
+        c_plain = tags_batch_completion_times(ds, ())
+        assert c_plain.max() == pytest.approx(sum(ds))
+
+    @given(demands)
+    def test_huge_timeout_equals_no_timeout(self, ds):
+        big = max(ds) + 1.0
+        np.testing.assert_allclose(
+            tags_batch_completion_times(ds, (big,)),
+            tags_batch_completion_times(ds, ()),
+        )
+
+    @given(demands, st.floats(0.1, 100.0))
+    def test_two_nodes_with_timeout_bounded_by_kill_overhead(self, ds, tau):
+        """Each job's completion is at most no-timeout makespan + tau * #jobs
+        (crude upper bound: sanity against runaway recursion)."""
+        c = tags_batch_completion_times(ds, (tau,))
+        bound = sum(ds) + tau * len(ds)
+        assert np.all(c <= bound + 1e-9)
+
+    @given(demands)
+    def test_mean_response_matches_completions(self, ds):
+        c = tags_batch_completion_times(ds, (3.0,))
+        assert tags_batch_mean_response(ds, (3.0,)) == pytest.approx(
+            float(c.mean())
+        )

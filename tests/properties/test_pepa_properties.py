@@ -1,0 +1,144 @@
+"""Property-based tests of the PEPA engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc import steady_state
+from repro.pepa import (
+    Activity,
+    Choice,
+    Constant,
+    Cooperation,
+    Model,
+    Prefix,
+    Rate,
+    explore,
+    parse_model,
+    to_generator,
+    top,
+    transitions,
+)
+from repro.pepa.semantics import TransitionContext
+
+rates = st.floats(0.05, 50.0, allow_nan=False)
+
+
+@st.composite
+def birth_death_models(draw):
+    """Random M/M/1/K as PEPA source text."""
+    K = draw(st.integers(1, 8))
+    lam = draw(rates)
+    mu = draw(rates)
+    lines = [f"lam = {lam}; mu = {mu};", "Q0 = (arr, lam).Q1;"]
+    for i in range(1, K):
+        lines.append(f"Q{i} = (arr, lam).Q{i + 1} + (srv, mu).Q{i - 1};")
+    lines.append(f"Q{K} = (srv, mu).Q{K - 1};")
+    lines.append("Q0;")
+    return "\n".join(lines), lam, mu, K
+
+
+class TestParserExploreSolve:
+    @given(birth_death_models())
+    @settings(max_examples=25, deadline=None)
+    def test_mm1k_roundtrip(self, case):
+        src, lam, mu, K = case
+        space = explore(parse_model(src))
+        assert space.n_states == K + 1
+        pi = steady_state(to_generator(space))
+        rho = lam / mu
+        exact = rho ** np.arange(K + 1)
+        exact /= exact.sum()
+        # states are discovered in order Q0, Q1, ...
+        order = np.argsort([int(space.local_names(i)[0][1:]) for i in range(K + 1)])
+        np.testing.assert_allclose(pi[order], exact, atol=1e-7)
+
+
+class TestCooperationLaws:
+    @given(rates, rates)
+    def test_shared_rate_never_exceeds_either_side(self, r1, r2):
+        P, Q = Constant("P"), Constant("Q")
+        m = Model(
+            {
+                "P": Prefix(Activity("a", Rate(r1)), P),
+                "Q": Prefix(Activity("a", Rate(r2)), Q),
+            },
+            P,
+        )
+        c = Cooperation(P, Q, frozenset({"a"}))
+        trs = transitions(c, m)
+        total = sum(r.value for _, r, _ in trs)
+        assert total <= min(r1, r2) + 1e-12
+
+    @given(rates, st.integers(1, 5))
+    def test_choice_apparent_rate_additive(self, r, k):
+        """k identical branches of (a, r) give apparent rate k*r."""
+        P = Constant("P")
+        body = Prefix(Activity("a", Rate(r)), P)
+        comp = body
+        for _ in range(k - 1):
+            comp = Choice(comp, body)
+        m = Model({"P": comp}, P)
+        ctx = TransitionContext(m)
+        assert ctx.apparent_rate(P, "a").value == pytest.approx(k * r)
+
+    @given(rates, rates, rates)
+    def test_cooperation_commutative_in_rates(self, r1, r2, w):
+        """Total synchronised rate is symmetric in the two sides."""
+        P, Q = Constant("P"), Constant("Q")
+
+        def total(ra, rb):
+            m = Model(
+                {
+                    "P": Prefix(Activity("a", Rate(ra)), P),
+                    "Q": Prefix(Activity("a", Rate(rb)), Q),
+                },
+                P,
+            )
+            c = Cooperation(P, Q, frozenset({"a"}))
+            return sum(r.value for _, r, _ in transitions(c, m))
+
+        assert total(r1, r2) == pytest.approx(total(r2, r1))
+
+    @given(rates, st.floats(0.1, 10.0))
+    def test_passive_weights_set_branching_only(self, active, w):
+        """Two passive branches with weights w and 2w split the active rate
+        1:2 regardless of w."""
+        P, Q, Q1, Q2 = (Constant(x) for x in ("P", "Q", "Q1", "Q2"))
+        m = Model(
+            {
+                "P": Prefix(Activity("a", Rate(active)), P),
+                "Q": Choice(
+                    Prefix(Activity("a", top(w)), Q1),
+                    Prefix(Activity("a", top(2 * w)), Q2),
+                ),
+                "Q1": Prefix(Activity("x", Rate(1.0)), Q),
+                "Q2": Prefix(Activity("x", Rate(1.0)), Q),
+            },
+            P,
+        )
+        c = Cooperation(P, Q, frozenset({"a"}))
+        trs = sorted(
+            (r.value for _, r, _ in transitions(c, m))
+        )
+        assert sum(trs) == pytest.approx(active)
+        assert trs[1] == pytest.approx(2 * trs[0])
+
+
+class TestStateSpaceProperties:
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_parallel_composition_state_count_multiplies(self, k1, k2):
+        """Independent components: |S1 x S2| = |S1| * |S2|."""
+        def cycle(prefix, k, action):
+            lines = []
+            for i in range(k):
+                lines.append(
+                    f"{prefix}{i} = ({action}, 1.0).{prefix}{(i + 1) % k};"
+                )
+            return "\n".join(lines)
+
+        src = cycle("A", k1, "a") + "\n" + cycle("B", k2, "b") + "\nA0 || B0;"
+        space = explore(parse_model(src))
+        assert space.n_states == k1 * k2

@@ -1,0 +1,68 @@
+"""Property-based round-trip: random PEPA ASTs survive print -> parse."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pepa import (
+    Activity,
+    Choice,
+    Constant,
+    Cooperation,
+    Hiding,
+    Prefix,
+    Rate,
+    parse_component,
+    pretty_component,
+    top,
+)
+
+action_names = st.sampled_from(["a", "b", "go", "serve", "tick1"])
+const_names = st.sampled_from(["P", "Q", "R1", "Queue_0"])
+rates = st.one_of(
+    st.floats(0.001, 1000.0, allow_nan=False).map(Rate),
+    st.just(top()),
+    st.floats(0.5, 8.0).map(top),
+)
+
+
+def components(max_depth=4):
+    base = const_names.map(Constant)
+
+    def extend(children):
+        prefix = st.builds(
+            Prefix,
+            st.builds(Activity, action_names, rates),
+            children,
+        )
+        choice = st.builds(Choice, children, children)
+        coop = st.builds(
+            Cooperation,
+            children,
+            children,
+            st.sets(action_names, max_size=3).map(frozenset),
+        )
+        hide = st.builds(
+            Hiding,
+            children,
+            st.sets(action_names, min_size=1, max_size=2).map(frozenset),
+        )
+        return st.one_of(prefix, choice, coop, hide)
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+class TestPrettyRoundTrip:
+    @given(components())
+    @settings(max_examples=200, deadline=None)
+    def test_parse_of_pretty_is_identity(self, comp):
+        text = pretty_component(comp)
+        assert parse_component(text) == comp
+
+    @given(components())
+    @settings(max_examples=50, deadline=None)
+    def test_pretty_is_stable(self, comp):
+        """pretty(parse(pretty(x))) == pretty(x): printing is idempotent."""
+        once = pretty_component(comp)
+        twice = pretty_component(parse_component(once))
+        assert once == twice

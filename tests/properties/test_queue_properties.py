@@ -1,0 +1,73 @@
+"""Property-based tests for the analytic queue family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import MM1K
+from repro.models.mmck import MMcK, erlang_b, erlang_c
+
+rates = st.floats(0.1, 50.0, allow_nan=False)
+
+
+class TestMMcKProperties:
+    @given(rates, rates, st.integers(1, 6), st.integers(0, 10))
+    def test_distribution_normalised(self, lam, mu, c, extra):
+        q = MMcK(lam, mu, c, c + extra)
+        p = q.distribution()
+        assert p.min() >= 0
+        assert p.sum() == pytest.approx(1.0)
+
+    @given(rates, rates, st.integers(1, 6), st.integers(0, 8))
+    def test_flow_balance(self, lam, mu, c, extra):
+        q = MMcK(lam, mu, c, c + extra)
+        loss = lam * q.blocking_probability
+        assert q.throughput + loss == pytest.approx(lam, rel=1e-9)
+
+    @given(rates, rates, st.integers(1, 5), st.integers(1, 8))
+    def test_more_servers_never_hurt(self, lam, mu, c, extra):
+        K = c + extra
+        a = MMcK(lam, mu, c, K)
+        b = MMcK(lam, mu, min(c + 1, K), K)
+        assert b.throughput >= a.throughput - 1e-12
+        assert b.mean_jobs <= a.mean_jobs + 1e-9
+
+    @given(rates, rates, st.integers(0, 8))
+    def test_utilisation_consistent_with_throughput(self, lam, mu, extra):
+        c = 2
+        q = MMcK(lam, mu, c, c + extra)
+        # busy servers * mu = completion rate
+        assert q.utilisation * c * mu == pytest.approx(q.throughput, rel=1e-9)
+
+
+class TestErlangProperties:
+    @given(st.floats(0.05, 30.0), st.integers(1, 40))
+    def test_b_in_unit_interval(self, a, c):
+        assert 0 < erlang_b(a, c) < 1
+
+    @given(st.floats(0.05, 30.0), st.integers(1, 30))
+    def test_b_recursion_vs_direct(self, a, c):
+        """The recursion must equal the direct truncated-Poisson ratio
+        (computed in log space)."""
+        from scipy.special import gammaln
+
+        ks = np.arange(c + 1)
+        logs = ks * np.log(a) - gammaln(ks + 1)
+        logs -= logs.max()
+        ps = np.exp(logs)
+        direct = ps[-1] / ps.sum()
+        assert erlang_b(a, c) == pytest.approx(direct, rel=1e-10)
+
+    @given(st.integers(2, 20))
+    def test_c_exceeds_b(self, c):
+        a = c * 0.7
+        assert erlang_c(a, c) >= erlang_b(a, c)
+
+
+class TestCrossFamilyConsistency:
+    @given(rates, rates, st.integers(1, 12))
+    def test_mmck_c1_equals_mm1k(self, lam, mu, K):
+        a = MMcK(lam, mu, 1, K)
+        b = MM1K(lam, mu, K)
+        np.testing.assert_allclose(a.distribution(), b.distribution(), atol=1e-12)

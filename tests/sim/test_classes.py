@@ -1,0 +1,93 @@
+"""Per-size-class simulation metrics (slowdown fairness)."""
+
+import numpy as np
+import pytest
+
+from repro.dists import h2_balanced_means
+from repro.sim import (
+    DeterministicTimeout,
+    JSQPolicy,
+    PoissonArrivals,
+    Simulation,
+    TagsPolicy,
+)
+
+SERVICE = h2_balanced_means(0.1, 0.99, 100.0)
+
+
+def run(policy, seed=0, t_end=20_000.0):
+    sim = Simulation(PoissonArrivals(8.0), SERVICE, policy, (10, 10), seed=seed)
+    return sim.run(t_end=t_end, warmup=1_000.0)
+
+
+class TestClassViews:
+    @pytest.fixture(scope="class")
+    def tags_result(self):
+        return run(TagsPolicy(timeouts=(DeterministicTimeout(0.6),)))
+
+    def test_demands_aligned(self, tags_result):
+        r = tags_result
+        assert r.demands.shape == r.response_times.shape == r.slowdowns.shape
+
+    def test_class_masks_partition(self, tags_result):
+        short = tags_result.class_mask(0.5)
+        assert short.sum() + (~short).sum() == tags_result.completed
+
+    def test_short_jobs_dominate_h2(self, tags_result):
+        # 99% of jobs are short (mean 0.05) so most completions are short
+        assert tags_result.class_mask(0.5).mean() > 0.95
+
+    def test_long_jobs_slower(self, tags_result):
+        w_short, w_long = tags_result.mean_response_by_class(0.5)
+        assert w_long > w_short
+
+    def test_slowdown_by_class_finite(self, tags_result):
+        s_short, s_long = tags_result.mean_slowdown_by_class(0.5)
+        assert s_short >= 1.0  # slowdown can never beat 1
+        assert s_long >= 1.0
+
+    def test_percentiles_monotone(self, tags_result):
+        assert tags_result.slowdown_percentile(50) <= tags_result.slowdown_percentile(95)
+
+    def test_tags_long_jobs_pay_repeat_penalty(self, tags_result):
+        """Under TAGS every long job repeats its timed-out work, so its
+        slowdown must exceed 1 + (lost work / demand) on average; JSQ has
+        no such floor."""
+        jsq = run(JSQPolicy(), seed=5)
+        _, tags_long = tags_result.mean_slowdown_by_class(0.5)
+        _, jsq_long = jsq.mean_slowdown_by_class(0.5)
+        assert tags_long > jsq_long
+
+
+class TestEdgeCases:
+    def test_missing_demands_rejected(self):
+        from repro.sim.runner import SimulationResult
+
+        r = SimulationResult(
+            duration=1.0,
+            offered=1,
+            completed=1,
+            dropped_arrival=0,
+            dropped_forward=0,
+            mean_queue_lengths=(0.0,),
+            response_times=np.array([1.0]),
+            slowdowns=np.array([1.0]),
+        )
+        with pytest.raises(ValueError, match="demands"):
+            r.class_mask(0.5)
+
+    def test_empty_percentile_nan(self):
+        from repro.sim.runner import SimulationResult
+
+        r = SimulationResult(
+            duration=1.0,
+            offered=0,
+            completed=0,
+            dropped_arrival=0,
+            dropped_forward=0,
+            mean_queue_lengths=(0.0,),
+            response_times=np.empty(0),
+            slowdowns=np.empty(0),
+            demands=np.empty(0),
+        )
+        assert np.isnan(r.slowdown_percentile(95))

@@ -1,0 +1,75 @@
+"""Heterogeneous-node (server speed) simulation tests."""
+
+import pytest
+
+from repro.dists import Exponential
+from repro.models import MM1K
+from repro.sim import (
+    DeterministicTimeout,
+    PoissonArrivals,
+    RandomPolicy,
+    Simulation,
+    TagsPolicy,
+)
+
+
+def run(policy, capacities, speeds, lam=4.0, mu=5.0, seed=0, t_end=30_000.0):
+    sim = Simulation(
+        PoissonArrivals(lam),
+        Exponential(mu),
+        policy,
+        capacities,
+        speeds=speeds,
+        seed=seed,
+    )
+    return sim.run(t_end=t_end, warmup=1_000.0)
+
+
+class TestSpeeds:
+    def test_default_unit_speed(self):
+        a = run(RandomPolicy(weights=(1.0,)), (8,), None)
+        b = run(RandomPolicy(weights=(1.0,)), (8,), (1.0,))
+        assert a.mean_jobs == pytest.approx(b.mean_jobs)  # same seed/paths
+
+    def test_speed_s_is_mm1k_with_scaled_mu(self):
+        """A speed-2 node serving Exponential(mu) demands is an M/M/1/K
+        with rate 2 mu."""
+        lam, mu, K = 4.0, 5.0, 8
+        res = run(RandomPolicy(weights=(1.0,)), (K,), (2.0,), lam=lam, mu=mu)
+        ana = MM1K(lam, 2 * mu, K)
+        assert res.mean_jobs == pytest.approx(ana.mean_jobs, rel=0.06)
+        assert res.throughput == pytest.approx(ana.throughput, rel=0.03)
+
+    def test_fast_node2_rescues_tags(self):
+        """Speeding up node 2 shortens the long jobs' second service, so
+        mean response improves."""
+        policy = lambda: TagsPolicy(timeouts=(DeterministicTimeout(0.1),))
+        slow = run(policy(), (10, 10), (1.0, 1.0), lam=6.0, mu=10.0)
+        fast = run(policy(), (10, 10), (1.0, 3.0), lam=6.0, mu=10.0)
+        assert fast.mean_response_time < slow.mean_response_time
+
+    def test_timeout_races_wall_clock(self):
+        """On a speed-10 node, a demand of 0.5 takes 0.05 < timeout 0.1,
+        so nothing ever times out."""
+        from repro.dists import Erlang
+
+        policy = TagsPolicy(timeouts=(DeterministicTimeout(0.1),))
+        demand = Erlang(100, 200.0)  # ~0.5, nearly deterministic
+        sim = Simulation(
+            PoissonArrivals(1.0), demand, policy, (10, 10),
+            speeds=(10.0, 1.0), seed=3,
+        )
+        res = sim.run(t_end=5_000.0, warmup=100.0)
+        assert res.mean_queue_lengths[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="one speed per node"):
+            Simulation(
+                PoissonArrivals(1.0), Exponential(1.0),
+                RandomPolicy(), (5, 5), speeds=(1.0,),
+            )
+        with pytest.raises(ValueError, match="positive"):
+            Simulation(
+                PoissonArrivals(1.0), Exponential(1.0),
+                RandomPolicy(), (5, 5), speeds=(1.0, 0.0),
+            )

@@ -1,0 +1,54 @@
+"""Statistics helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim import TimeAverage, batch_means_ci
+
+
+class TestTimeAverage:
+    def test_piecewise_constant(self):
+        ta = TimeAverage()
+        ta.update(0.0, 2.0)  # value 0 on [0, 0): nothing
+        ta.update(1.0, 4.0)  # value 2 on [0, 1)
+        ta.update(3.0, 0.0)  # value 4 on [1, 3)
+        assert ta.mean(4.0) == pytest.approx((0 * 0 + 2 * 1 + 4 * 2 + 0 * 1) / 4.0)
+
+    def test_reset_discards_history(self):
+        ta = TimeAverage()
+        ta.update(0.0, 100.0)
+        ta.update(5.0, 1.0)
+        ta.reset(5.0)
+        ta.update(7.0, 3.0)
+        assert ta.mean(9.0) == pytest.approx((1 * 2 + 3 * 2) / 4.0)
+
+    def test_time_backwards_rejected(self):
+        ta = TimeAverage()
+        ta.update(2.0, 1.0)
+        with pytest.raises(ValueError):
+            ta.update(1.0, 1.0)
+
+    def test_empty_mean_zero(self):
+        assert TimeAverage().mean(0.0) == 0.0
+
+
+class TestBatchMeans:
+    def test_iid_normal_coverage(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for rep in range(200):
+            xs = rng.normal(10.0, 2.0, 400)
+            mean, half = batch_means_ci(xs, n_batches=20)
+            if abs(mean - 10.0) <= half:
+                hits += 1
+        # 95% CI: expect ~190/200 coverage
+        assert hits >= 180
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            batch_means_ci(np.ones(10), n_batches=20)
+
+    def test_mean_value(self):
+        xs = np.arange(100.0)
+        mean, _ = batch_means_ci(xs, n_batches=10)
+        assert mean == pytest.approx(xs.mean())

@@ -1,0 +1,65 @@
+"""Arrival-process and timeout-sampler tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DeterministicTimeout, ErlangTimeout, MMPPArrivals, PoissonArrivals
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        p = PoissonArrivals(4.0)
+        rng = np.random.default_rng(0)
+        gaps = [p.next_interarrival(rng) for _ in range(40_000)]
+        assert np.mean(gaps) == pytest.approx(0.25, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestMMPP:
+    def test_mean_rate_property(self):
+        m = MMPPArrivals(rate0=10.0, rate1=1.0, switch01=0.5, switch10=0.5)
+        assert m.mean_rate == pytest.approx(5.5)
+
+    def test_empirical_rate(self):
+        m = MMPPArrivals(rate0=10.0, rate1=1.0, switch01=2.0, switch10=2.0)
+        rng = np.random.default_rng(1)
+        total = sum(m.next_interarrival(rng) for _ in range(40_000))
+        assert 40_000 / total == pytest.approx(m.mean_rate, rel=0.05)
+
+    def test_ipp_burstier_than_poisson(self):
+        """On/off arrivals: squared CV of inter-arrival times exceeds 1."""
+        m = MMPPArrivals(rate0=20.0, rate1=0.0, switch01=1.0, switch10=1.0)
+        rng = np.random.default_rng(2)
+        gaps = np.array([m.next_interarrival(rng) for _ in range(40_000)])
+        scv = gaps.var() / gaps.mean() ** 2
+        assert scv > 1.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPPArrivals(0.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(1.0, 1.0, 0.0, 1.0)
+
+
+class TestTimeouts:
+    def test_deterministic(self):
+        d = DeterministicTimeout(0.12)
+        rng = np.random.default_rng(0)
+        assert d.sample(rng) == 0.12
+        assert d.mean == 0.12
+
+    def test_erlang_mean(self):
+        e = ErlangTimeout(6, 51.0)
+        rng = np.random.default_rng(0)
+        xs = np.array([e.sample(rng) for _ in range(20_000)])
+        assert xs.mean() == pytest.approx(6 / 51, rel=0.03)
+        assert e.mean == pytest.approx(6 / 51)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeterministicTimeout(0.0)
+        with pytest.raises(ValueError):
+            ErlangTimeout(0, 1.0)

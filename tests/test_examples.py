@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run cleanly.
+
+The slow simulation-heavy examples run with reduced effort via env-free
+subprocess execution; they are still end-to-end (import, compute, print).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+FAST = ["quickstart.py", "pepa_playground.py"]
+SLOW = [
+    "tags_vs_shortest_queue_hyperexp.py",
+    "timeout_tuning.py",
+    "bursty_arrivals.py",
+    "simulation_validation.py",
+    "tagged_job_percentiles.py",
+]
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=1800,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestFastExamples:
+    @pytest.mark.parametrize("name", FAST)
+    def test_runs(self, name):
+        out = run_example(name)
+        assert out.strip()
+
+    def test_quickstart_reports_4331(self):
+        assert "4331" in run_example("quickstart.py")
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    @pytest.mark.parametrize("name", SLOW)
+    def test_runs(self, name):
+        out = run_example(name)
+        assert out.strip()

@@ -1,0 +1,67 @@
+"""Public-API surface tests: imports, facade completeness, docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.pepa",
+    "repro.ctmc",
+    "repro.dists",
+    "repro.models",
+    "repro.approx",
+    "repro.sim",
+    "repro.batch",
+    "repro.experiments",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_importable(self, name):
+        mod = importlib.import_module(name)
+        assert mod.__doc__, f"{name} lacks a module docstring"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_resolves(self, name):
+        mod = importlib.import_module(name)
+        for sym in getattr(mod, "__all__", []):
+            assert hasattr(mod, sym), f"{name}.__all__ lists missing {sym!r}"
+
+
+class TestCoreFacade:
+    def test_headline_workflow(self):
+        from repro.core import TagsExponential, TagsParameters, build_tags_model
+
+        m = TagsExponential(lam=5, mu=10, t=51, n=2, K1=2, K2=2)
+        assert m.metrics().throughput > 0
+        assert build_tags_model(TagsParameters(n=2, K1=2, K2=2))
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "repro.pepa.semantics",
+            "repro.pepa.statespace",
+            "repro.ctmc.steady",
+            "repro.ctmc.lumping",
+            "repro.models.tags_direct",
+            "repro.approx.balance",
+            "repro.sim.runner",
+        ],
+    )
+    def test_public_callables_documented(self, name):
+        mod = importlib.import_module(name)
+        for sym in getattr(mod, "__all__", []):
+            obj = getattr(mod, sym)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"{name}.{sym} lacks a docstring"
