@@ -26,9 +26,12 @@ Subpackages
     The Section 1 deterministic worked-example calculator.
 ``repro.experiments``
     One function per paper figure, plus report rendering.
+``repro.sweep``
+    Parallel, cached, warm-started parameter-sweep engine (what the
+    figure regenerations and optimisers solve through).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "pepa",
@@ -39,5 +42,6 @@ __all__ = [
     "sim",
     "batch",
     "experiments",
+    "sweep",
     "core",
 ]

@@ -6,6 +6,12 @@ exact exponential CTMC, or the H2 CTMC.  A coarse geometric grid brackets
 the optimum, golden-section search refines it; the objective is noisy-free
 (deterministic solves), so this converges reliably for the unimodal
 metrics the paper optimises (queue length, response time, throughput).
+
+Passing a :class:`repro.sweep.ModelSpec` instead of a bare factory routes
+every probe through the sweep engine: the bracketing grid is evaluated as
+one (optionally parallel) sweep, and all evaluations land in the
+content-addressed cache, so repeated optimisations -- and any figure that
+later touches the same points -- re-solve nothing.
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ from typing import Callable
 
 import numpy as np
 from scipy.optimize import minimize_scalar
+
+from repro.sweep import ModelSpec, SweepEngine, default_engine
 
 __all__ = ["OptimisationResult", "optimise_timeout"]
 
@@ -43,13 +51,15 @@ class OptimisationResult:
 
 
 def optimise_timeout(
-    model_factory: Callable,
+    model_factory: "Callable | ModelSpec",
     metric: str = "mean_jobs",
     *,
     t_min: float = 0.5,
     t_max: float = 500.0,
     grid_points: int = 40,
     refine: bool = True,
+    engine: "SweepEngine | None" = None,
+    workers: "int | None" = None,
 ) -> OptimisationResult:
     """Optimise the timeout rate ``t``.
 
@@ -57,7 +67,9 @@ def optimise_timeout(
     ----------
     model_factory :
         ``t -> object with .metrics()`` (e.g. ``lambda t:
-        TagsExponential(lam=5, mu=10, t=t)``).
+        TagsExponential(lam=5, mu=10, t=t)``), or a
+        :class:`~repro.sweep.ModelSpec` to evaluate through the sweep
+        engine (cached, optionally parallel).
     metric :
         ``"mean_jobs"``, ``"response_time"``, ``"loss_rate"`` (minimised)
         or ``"throughput"`` (maximised).
@@ -68,6 +80,10 @@ def optimise_timeout(
         False the best grid point is returned (the paper reports *integer*
         optimal t values, so benchmarks use ``refine=False`` on an integer
         grid).
+    engine, workers :
+        Only used with a ``ModelSpec``: the engine to probe through
+        (default: the shared :func:`~repro.sweep.default_engine`) and the
+        worker count for the bracketing sweep.
     """
     try:
         getter, sign = _METRIC_GETTERS[metric]
@@ -79,7 +95,21 @@ def optimise_timeout(
         raise ValueError("need 0 < t_min < t_max")
 
     ts = np.geomspace(t_min, t_max, grid_points)
-    vals = np.array([sign * getter(model_factory(t).metrics()) for t in ts])
+    if isinstance(model_factory, ModelSpec):
+        spec = model_factory
+        eng = engine if engine is not None else default_engine()
+        sweep = eng.sweep(spec.model_cls, spec.grid(ts), workers=workers)
+        vals = np.array([sign * getter(m) for m in sweep.metrics])
+
+        def evaluate(t: float) -> float:
+            m, _ = eng.solve(spec.model_cls, spec.params_at(t))
+            return sign * getter(m)
+
+    else:
+        def evaluate(t: float) -> float:
+            return sign * getter(model_factory(t).metrics())
+
+        vals = np.array([evaluate(t) for t in ts])
     k = int(np.argmin(vals))
 
     if not refine:
@@ -93,7 +123,7 @@ def optimise_timeout(
         t_opt, v_opt = float(ts[k]), float(vals[k])
     else:
         res = minimize_scalar(
-            lambda t: sign * getter(model_factory(t).metrics()),
+            evaluate,
             bounds=(lo, hi),
             method="bounded",
             options={"xatol": 1e-4 * hi},

@@ -10,6 +10,12 @@ with respect to any scalar model parameter, plus a robustness summary
 Derivatives are computed on the exact CTMC (each evaluation is a sparse
 solve), so they are noise-free and a simple central difference with a
 relative step is accurate to ~1e-6.
+
+Every function accepts either a bare factory (``x -> model``) or a
+:class:`repro.sweep.ModelSpec`; with a spec the evaluations route through
+the sweep engine's content-addressed cache, so e.g. a tolerance-band
+bisection that re-visits the optimum, or a derivative at a point a figure
+already solved, costs nothing.
 """
 
 from __future__ import annotations
@@ -19,44 +25,59 @@ from typing import Callable
 
 import numpy as np
 
+from repro.sweep import ModelSpec, SweepEngine, default_engine
+
 __all__ = ["metric_derivative", "metric_elasticity", "tuning_tolerance"]
 
 
-def _metric_value(model_factory: Callable, x: float, metric: str) -> float:
+def _metric_value(
+    model_factory: "Callable | ModelSpec",
+    x: float,
+    metric: str,
+    engine: "SweepEngine | None" = None,
+) -> float:
+    if isinstance(model_factory, ModelSpec):
+        eng = engine if engine is not None else default_engine()
+        m, _ = eng.solve(model_factory.model_cls, model_factory.params_at(x))
+        return float(getattr(m, metric))
     return float(getattr(model_factory(x).metrics(), metric))
 
 
 def metric_derivative(
-    model_factory: Callable,
+    model_factory: "Callable | ModelSpec",
     x: float,
     metric: str = "response_time",
     *,
     rel_step: float = 1e-4,
+    engine: "SweepEngine | None" = None,
 ) -> float:
     """Central-difference ``d metric / d x`` at ``x``.
 
-    ``model_factory(x)`` must return an object with ``.metrics()``.
+    ``model_factory(x)`` must return an object with ``.metrics()`` (or be
+    a :class:`~repro.sweep.ModelSpec`, evaluated through ``engine``).
     """
     if x <= 0:
         raise ValueError("x must be positive")
     h = x * rel_step
-    up = _metric_value(model_factory, x + h, metric)
-    dn = _metric_value(model_factory, x - h, metric)
+    up = _metric_value(model_factory, x + h, metric, engine)
+    dn = _metric_value(model_factory, x - h, metric, engine)
     return (up - dn) / (2 * h)
 
 
 def metric_elasticity(
-    model_factory: Callable,
+    model_factory: "Callable | ModelSpec",
     x: float,
     metric: str = "response_time",
+    *,
+    engine: "SweepEngine | None" = None,
     **kw,
 ) -> float:
     """Dimensionless elasticity ``(x / m) * dm/dx``: the % change in the
     metric per % change in the parameter."""
-    m = _metric_value(model_factory, x, metric)
+    m = _metric_value(model_factory, x, metric, engine)
     if m == 0:
         raise ZeroDivisionError("metric is zero at x")
-    return metric_derivative(model_factory, x, metric, **kw) * x / m
+    return metric_derivative(model_factory, x, metric, engine=engine, **kw) * x / m
 
 
 @dataclass(frozen=True)
@@ -76,7 +97,7 @@ class ToleranceBand:
 
 
 def tuning_tolerance(
-    model_factory: Callable,
+    model_factory: "Callable | ModelSpec",
     x_opt: float,
     metric: str = "response_time",
     *,
@@ -84,6 +105,7 @@ def tuning_tolerance(
     maximise: bool = False,
     x_min: float = 1e-3,
     x_max: float = 1e6,
+    engine: "SweepEngine | None" = None,
 ) -> ToleranceBand:
     """Width of the parameter band within which ``metric`` stays within
     ``degradation`` of its value at ``x_opt`` (bisection on both sides).
@@ -92,7 +114,7 @@ def tuning_tolerance(
     """
     if not (0 < degradation < 1):
         raise ValueError("degradation must be in (0, 1)")
-    v_opt = _metric_value(model_factory, x_opt, metric)
+    v_opt = _metric_value(model_factory, x_opt, metric, engine)
     if maximise:
         threshold = v_opt * (1 - degradation)
         bad = lambda v: v < threshold
@@ -103,13 +125,15 @@ def tuning_tolerance(
     def find_edge(direction: int) -> float:
         """Bisect for the threshold crossing on one side of x_opt."""
         x_far = x_max if direction > 0 else x_min
-        if not bad(_metric_value(model_factory, x_far, metric)):
+        if not bad(_metric_value(model_factory, x_far, metric, engine)):
             return x_far  # never degrades within the search range
         lo, hi = (x_opt, x_far) if direction > 0 else (x_far, x_opt)
         # invariant: metric acceptable at the x_opt side, bad at the far side
         for _ in range(60):
             mid = np.sqrt(lo * hi)  # geometric bisection (scale-free)
-            if bad(_metric_value(model_factory, mid, metric)) == (direction > 0):
+            if bad(_metric_value(model_factory, mid, metric, engine)) == (
+                direction > 0
+            ):
                 hi = mid
             else:
                 lo = mid

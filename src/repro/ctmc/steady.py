@@ -41,6 +41,7 @@ __all__ = [
     "steady_state_gauss_seidel",
     "steady_state_gmres",
     "GTH_CUTOFF",
+    "ITERATIVE_METHODS",
 ]
 
 GTH_CUTOFF = 2000
@@ -55,6 +56,34 @@ def _as_Q(g) -> sp.csr_matrix:
     if isinstance(g, Generator):
         return g.Q
     return sp.csr_matrix(g, dtype=np.float64)
+
+
+def _check_pi0(pi0, n: int) -> np.ndarray:
+    """Validate and normalise a warm-start vector.
+
+    Raises :class:`ValueError` (not :class:`SteadyStateError`: a bad guess
+    is a caller bug, not a convergence failure) on wrong shape/length,
+    non-finite or negative entries, or a vector that sums to zero.
+    """
+    pi0 = np.asarray(pi0, dtype=np.float64)
+    if pi0.ndim != 1:
+        raise ValueError(f"pi0 must be a 1-D vector, got shape {pi0.shape}")
+    if pi0.shape[0] != n:
+        raise ValueError(f"pi0 has length {pi0.shape[0]}, chain has {n} states")
+    if not np.all(np.isfinite(pi0)):
+        raise ValueError("pi0 has non-finite entries")
+    if np.any(pi0 < 0):
+        raise ValueError("pi0 has negative entries")
+    total = pi0.sum()
+    if total <= 0:
+        raise ValueError("pi0 sums to zero; cannot normalise")
+    return pi0 / total
+
+
+def _record_info(info, **fields) -> None:
+    """Write solver diagnostics into the caller's ``info`` dict, if any."""
+    if info is not None:
+        info.update(fields)
 
 
 def _check_result(pi: np.ndarray, Q: sp.csr_matrix, tol: float) -> np.ndarray:
@@ -72,7 +101,17 @@ def _check_result(pi: np.ndarray, Q: sp.csr_matrix, tol: float) -> np.ndarray:
     return pi
 
 
-def steady_state(generator, method: str = "auto", tol: float = 1e-8) -> np.ndarray:
+ITERATIVE_METHODS = frozenset({"power", "gauss_seidel", "gmres"})
+"""Methods that accept a ``pi0`` warm-start / an iteration count."""
+
+
+def steady_state(
+    generator,
+    method: str = "auto",
+    tol: float = 1e-8,
+    pi0=None,
+    info: dict | None = None,
+) -> np.ndarray:
     """Stationary distribution of an irreducible CTMC.
 
     Parameters
@@ -86,12 +125,23 @@ def steady_state(generator, method: str = "auto", tol: float = 1e-8) -> np.ndarr
     tol :
         Residual tolerance used to verify the returned vector (relative to
         the largest exit rate).
+    pi0 :
+        Optional warm-start vector (e.g. the stationary distribution of a
+        nearby parameter point).  Used by the iterative methods
+        (:data:`ITERATIVE_METHODS`); the direct methods (``gth``,
+        ``direct``) ignore it, since they do not iterate.  Validated
+        before use: wrong length or negative entries raise ``ValueError``.
+    info :
+        Optional dict the solver fills with diagnostics: ``method`` always,
+        ``iterations`` for the iterative methods, ``warm_started`` when a
+        ``pi0`` was actually consumed.
     """
     Q = _as_Q(generator)
     n = Q.shape[0]
     if n == 0:
         raise SteadyStateError("empty chain")
     if n == 1:
+        _record_info(info, method=method, iterations=0, warm_started=False)
         return np.ones(1)
     if method == "auto":
         method = "gth" if n <= GTH_CUTOFF else "direct"
@@ -106,6 +156,9 @@ def steady_state(generator, method: str = "auto", tol: float = 1e-8) -> np.ndarr
         solver = solvers[method]
     except KeyError:
         raise ValueError(f"unknown method {method!r}; choose from {sorted(solvers)}")
+    if method in ITERATIVE_METHODS:
+        return solver(Q, tol=tol, pi0=pi0, info=info)
+    _record_info(info, method=method, iterations=None, warm_started=False)
     return solver(Q, tol=tol)
 
 
@@ -196,11 +249,15 @@ def steady_state_power(
     tol: float = 1e-8,
     max_iter: int = 2_000_000,
     check_every: int = 50,
+    pi0=None,
+    info: dict | None = None,
 ) -> np.ndarray:
     """Power iteration on the uniformized DTMC ``P = I + Q / Lambda``.
 
     Aperiodicity is guaranteed by choosing ``Lambda`` strictly above the
-    maximum exit rate.
+    maximum exit rate.  ``pi0`` warm-starts the iteration (defaults to
+    uniform); a good guess from a nearby parameter point cuts the
+    iteration count drastically.
     """
     Q = _as_Q(generator)
     n = Q.shape[0]
@@ -208,7 +265,7 @@ def steady_state_power(
     if lam <= 0:
         raise SteadyStateError("chain has no transitions")
     P = sp.eye(n, format="csr") + Q / lam
-    pi = np.full(n, 1.0 / n)
+    pi = np.full(n, 1.0 / n) if pi0 is None else _check_pi0(pi0, n)
     for it in range(1, max_iter + 1):
         new = pi @ P
         new /= new.sum()
@@ -218,6 +275,7 @@ def steady_state_power(
         pi = new
     else:
         raise SteadyStateError(f"power iteration did not converge in {max_iter}")
+    _record_info(info, method="power", iterations=it, warm_started=pi0 is not None)
     return _check_result(pi, Q, tol)
 
 
@@ -225,12 +283,15 @@ def steady_state_gauss_seidel(
     generator,
     tol: float = 1e-8,
     max_iter: int = 200_000,
+    pi0=None,
+    info: dict | None = None,
 ) -> np.ndarray:
     """Gauss-Seidel sweeps on ``pi Q = 0`` (solving the transposed system
     column-state by column-state).
 
     Implemented with a sparse triangular solve per sweep: writing
     ``Q^T = L + D + U``, each sweep solves ``(D + L) x_{k+1} = -U x_k``.
+    ``pi0`` warm-starts the sweeps (defaults to uniform).
     """
     Q = _as_Q(generator)
     QT = sp.csc_matrix(Q.T)
@@ -239,8 +300,8 @@ def steady_state_gauss_seidel(
     U = sp.triu(QT, k=1, format="csr")
     if np.any(DL.diagonal() == 0):
         raise SteadyStateError("zero diagonal entry; absorbing state present")
-    x = np.full(n, 1.0 / n)
-    for _ in range(max_iter):
+    x = np.full(n, 1.0 / n) if pi0 is None else _check_pi0(pi0, n)
+    for it in range(1, max_iter + 1):
         rhs = -(U @ x)
         x_new = spla.spsolve_triangular(DL, rhs, lower=True)
         s = x_new.sum()
@@ -253,11 +314,22 @@ def steady_state_gauss_seidel(
         x = x_new
     else:
         raise SteadyStateError(f"Gauss-Seidel did not converge in {max_iter}")
+    _record_info(
+        info, method="gauss_seidel", iterations=it, warm_started=pi0 is not None
+    )
     return _check_result(x, Q, tol)
 
 
-def steady_state_gmres(generator, tol: float = 1e-8) -> np.ndarray:
-    """GMRES on the normalised system with an ILU preconditioner."""
+def steady_state_gmres(
+    generator,
+    tol: float = 1e-8,
+    pi0=None,
+    info: dict | None = None,
+) -> np.ndarray:
+    """GMRES on the normalised system with an ILU preconditioner.
+
+    ``pi0`` is passed to GMRES as the initial Krylov guess ``x0``.
+    """
     Q = _as_Q(generator)
     n = Q.shape[0]
     A = sp.lil_matrix(Q.T)
@@ -265,12 +337,31 @@ def steady_state_gmres(generator, tol: float = 1e-8) -> np.ndarray:
     A = sp.csc_matrix(A)
     b = np.zeros(n)
     b[n - 1] = 1.0
+    x0 = None if pi0 is None else _check_pi0(pi0, n)
     try:
         ilu = spla.spilu(A, drop_tol=1e-6, fill_factor=20)
         M = spla.LinearOperator((n, n), ilu.solve)
     except RuntimeError:
         M = None
-    x, info = spla.gmres(A, b, rtol=tol * 1e-2, atol=0.0, M=M, maxiter=5000)
-    if info != 0:
-        raise SteadyStateError(f"GMRES failed to converge (info={info})")
+    iters = [0]
+
+    def count(_):
+        iters[0] += 1
+
+    x, code = spla.gmres(
+        A,
+        b,
+        rtol=tol * 1e-2,
+        atol=0.0,
+        M=M,
+        x0=x0,
+        maxiter=5000,
+        callback=count,
+        callback_type="pr_norm",
+    )
+    if code != 0:
+        raise SteadyStateError(f"GMRES failed to converge (info={code})")
+    _record_info(
+        info, method="gmres", iterations=iters[0], warm_started=pi0 is not None
+    )
     return _check_result(x, Q, tol)

@@ -2,6 +2,13 @@
 
 All sweeps use the direct CTMC constructions (pinned to the PEPA models by
 the test suite) because a figure is 30-60 steady-state solves.
+
+Every solve routes through the shared :func:`repro.sweep.default_engine`,
+so figures over the same grid share one solve pass: ``figure6``/``figure7``
+(and ``figure9``/``figure10``) differ only in which metric they read, and
+the second call is answered entirely from the content-addressed cache.
+Set ``REPRO_SWEEP_WORKERS`` to fan the underlying solves out over a
+process pool (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from repro.models import (
     TagsExponential,
     TagsHyperExponential,
 )
+from repro.sweep import default_engine
 
 __all__ = [
     "FigureData",
@@ -70,11 +78,16 @@ class FigureData:
 # Figures 6-7: exponential service, sweep timeout rate
 # ----------------------------------------------------------------------
 
+def _solve(model_cls, **params):
+    """One reference point through the shared engine (cached)."""
+    metrics, _ = default_engine().solve(model_cls, params)
+    return metrics
+
+
 def _tags_exp_sweep(t_grid=FIG6_T_GRID, **overrides):
     params = {**FIG6_PARAMS, **overrides}
-    return [
-        TagsExponential(t=float(t), **params).metrics() for t in t_grid
-    ]
+    grid = [dict(params, t=float(t)) for t in t_grid]
+    return default_engine().sweep(TagsExponential, grid).metrics
 
 
 def figure6(t_grid=FIG6_T_GRID) -> FigureData:
@@ -90,12 +103,14 @@ def figure6(t_grid=FIG6_T_GRID) -> FigureData:
     fig.add("TAG total", [m.mean_jobs for m in ms])
     fig.add("TAG queue 1", [m.mean_jobs_per_node[0] for m in ms])
     fig.add("TAG queue 2", [m.mean_jobs_per_node[1] for m in ms])
-    rnd = RandomAllocation(
-        lam=FIG6_PARAMS["lam"], service=FIG6_PARAMS["mu"], K=FIG6_PARAMS["K1"]
-    ).metrics()
-    jsq = ShortestQueue(
-        lam=FIG6_PARAMS["lam"], service=FIG6_PARAMS["mu"], K=FIG6_PARAMS["K1"]
-    ).metrics()
+    rnd = _solve(
+        RandomAllocation,
+        lam=FIG6_PARAMS["lam"], service=FIG6_PARAMS["mu"], K=FIG6_PARAMS["K1"],
+    )
+    jsq = _solve(
+        ShortestQueue,
+        lam=FIG6_PARAMS["lam"], service=FIG6_PARAMS["mu"], K=FIG6_PARAMS["K1"],
+    )
     fig.add("random", np.full_like(fig.x, rnd.mean_jobs))
     fig.add("shortest queue", np.full_like(fig.x, jsq.mean_jobs))
     return fig
@@ -111,12 +126,14 @@ def figure7(t_grid=FIG6_T_GRID) -> FigureData:
     )
     ms = _tags_exp_sweep(t_grid)
     fig.add("TAG", [m.response_time for m in ms])
-    rnd = RandomAllocation(
-        lam=FIG6_PARAMS["lam"], service=FIG6_PARAMS["mu"], K=FIG6_PARAMS["K1"]
-    ).metrics()
-    jsq = ShortestQueue(
-        lam=FIG6_PARAMS["lam"], service=FIG6_PARAMS["mu"], K=FIG6_PARAMS["K1"]
-    ).metrics()
+    rnd = _solve(
+        RandomAllocation,
+        lam=FIG6_PARAMS["lam"], service=FIG6_PARAMS["mu"], K=FIG6_PARAMS["K1"],
+    )
+    jsq = _solve(
+        ShortestQueue,
+        lam=FIG6_PARAMS["lam"], service=FIG6_PARAMS["mu"], K=FIG6_PARAMS["K1"],
+    )
     fig.add("random", np.full_like(fig.x, rnd.response_time))
     fig.add("shortest queue", np.full_like(fig.x, jsq.response_time))
     return fig
@@ -130,15 +147,14 @@ def optimal_integer_t(
     lam: float, metric: str = "mean_jobs", t_range=range(25, 70), **overrides
 ) -> int:
     """Queue-length-optimal integer timeout rate (the paper's Fig 8
-    procedure)."""
+    procedure).  The integer grid is one engine sweep, so repeated calls
+    (and the figure's re-solve at the optimum) hit the cache."""
     params = {**FIG6_PARAMS, **overrides}
-    params["lam"] = lam
-
-    def value(t: int) -> float:
-        m = TagsExponential(t=float(t), **params).metrics()
-        return getattr(m, metric)
-
-    return min(t_range, key=value)
+    params["lam"] = float(lam)
+    t_range = list(t_range)
+    grid = [dict(params, t=float(t)) for t in t_range]
+    res = default_engine().sweep(TagsExponential, grid)
+    return t_range[int(np.argmin(res.values(metric)))]
 
 
 def figure8(lambdas=FIG8_LAMBDAS) -> FigureData:
@@ -152,20 +168,23 @@ def figure8(lambdas=FIG8_LAMBDAS) -> FigureData:
     for lam in lams:
         t_opt = optimal_integer_t(lam)
         opt_ts.append(t_opt)
-        m = TagsExponential(t=float(t_opt), **{**FIG6_PARAMS, "lam": lam}).metrics()
+        m = _solve(
+            TagsExponential,
+            t=float(t_opt), **{**FIG6_PARAMS, "lam": float(lam)},
+        )
         tag.append(m.response_time)
     fig.add("TAG (optimal t)", tag)
     fig.add(
         "random",
         [
-            RandomAllocation(lam=lam, service=10.0, K=10).metrics().response_time
+            _solve(RandomAllocation, lam=float(lam), service=10.0, K=10).response_time
             for lam in lams
         ],
     )
     fig.add(
         "shortest queue",
         [
-            ShortestQueue(lam=lam, service=10.0, K=10).metrics().response_time
+            _solve(ShortestQueue, lam=float(lam), service=10.0, K=10).response_time
             for lam in lams
         ],
     )
@@ -181,13 +200,12 @@ def _tags_h2_sweep(t_grid, service, lam, **overrides):
     mu1, mu2 = service.rates
     alpha = float(service.probs[0])
     params = dict(
-        lam=lam, alpha=alpha, mu1=float(mu1), mu2=float(mu2),
+        lam=float(lam), alpha=alpha, mu1=float(mu1), mu2=float(mu2),
         n=FIG9_PARAMS["n"], K1=FIG9_PARAMS["K1"], K2=FIG9_PARAMS["K2"],
     )
     params.update(overrides)
-    return [
-        TagsHyperExponential(t=float(t), **params).metrics() for t in t_grid
-    ]
+    grid = [dict(params, t=float(t)) for t in t_grid]
+    return default_engine().sweep(TagsHyperExponential, grid).metrics
 
 
 def figure9(t_grid=FIG9_T_GRID) -> FigureData:
@@ -204,9 +222,9 @@ def figure9(t_grid=FIG9_T_GRID) -> FigureData:
     )
     ms = _tags_h2_sweep(t_grid, service, FIG9_PARAMS["lam"])
     fig.add("TAG", [m.response_time for m in ms])
-    jsq = ShortestQueue(lam=FIG9_PARAMS["lam"], service=service, K=10).metrics()
+    jsq = _solve(ShortestQueue, lam=FIG9_PARAMS["lam"], service=service, K=10)
     fig.add("shortest queue", np.full_like(fig.x, jsq.response_time))
-    rnd = RandomAllocation(lam=FIG9_PARAMS["lam"], service=service, K=10).metrics()
+    rnd = _solve(RandomAllocation, lam=FIG9_PARAMS["lam"], service=service, K=10)
     fig.add("random (not shown in paper)", np.full_like(fig.x, rnd.response_time))
     return fig
 
@@ -222,9 +240,9 @@ def figure10(t_grid=FIG9_T_GRID) -> FigureData:
     )
     ms = _tags_h2_sweep(t_grid, service, FIG9_PARAMS["lam"])
     fig.add("TAG", [m.throughput for m in ms])
-    jsq = ShortestQueue(lam=FIG9_PARAMS["lam"], service=service, K=10).metrics()
+    jsq = _solve(ShortestQueue, lam=FIG9_PARAMS["lam"], service=service, K=10)
     fig.add("shortest queue", np.full_like(fig.x, jsq.throughput))
-    rnd = RandomAllocation(lam=FIG9_PARAMS["lam"], service=service, K=10).metrics()
+    rnd = _solve(RandomAllocation, lam=FIG9_PARAMS["lam"], service=service, K=10)
     fig.add("random (not shown in paper)", np.full_like(fig.x, rnd.throughput))
     return fig
 
@@ -236,18 +254,24 @@ def figure10(t_grid=FIG9_T_GRID) -> FigureData:
 def optimal_integer_t_h2(
     service, lam: float, metric: str = "response_time", t_range=range(2, 80, 2)
 ) -> int:
+    """Best integer timeout rate for an H2 system, as one engine sweep.
+
+    Figures 11 and 12 call this per alpha with different metrics; the
+    underlying solves are identical, so the second figure's searches are
+    pure cache hits."""
     mu1, mu2 = service.rates
     alpha = float(service.probs[0])
-
-    def value(t: int) -> float:
-        m = TagsHyperExponential(
-            lam=lam, alpha=alpha, mu1=float(mu1), mu2=float(mu2),
-            t=float(t), n=6, K1=10, K2=10,
-        ).metrics()
-        v = getattr(m, metric)
-        return -v if metric == "throughput" else v
-
-    return min(t_range, key=value)
+    params = dict(
+        lam=float(lam), alpha=alpha, mu1=float(mu1), mu2=float(mu2),
+        n=6, K1=10, K2=10,
+    )
+    t_range = list(t_range)
+    grid = [dict(params, t=float(t)) for t in t_range]
+    res = default_engine().sweep(TagsHyperExponential, grid)
+    vals = np.asarray(res.values(metric), dtype=float)
+    if metric == "throughput":
+        vals = -vals
+    return t_range[int(np.argmin(vals))]
 
 
 def _figure11_12(metric: str, name: str, ylabel: str, alphas) -> FigureData:
@@ -260,13 +284,14 @@ def _figure11_12(metric: str, name: str, ylabel: str, alphas) -> FigureData:
         mu1, mu2 = service.rates
         t_opt = optimal_integer_t_h2(service, lam, metric=metric)
         opts.append(t_opt)
-        m = TagsHyperExponential(
+        m = _solve(
+            TagsHyperExponential,
             lam=lam, alpha=float(a), mu1=float(mu1), mu2=float(mu2),
             t=float(t_opt), n=6, K1=10, K2=10,
-        ).metrics()
+        )
         tag.append(getattr(m, metric))
-        jsq.append(getattr(ShortestQueue(lam=lam, service=service, K=10).metrics(), metric))
-        rnd.append(getattr(RandomAllocation(lam=lam, service=service, K=10).metrics(), metric))
+        jsq.append(getattr(_solve(ShortestQueue, lam=lam, service=service, K=10), metric))
+        rnd.append(getattr(_solve(RandomAllocation, lam=lam, service=service, K=10), metric))
     fig.add("TAG (optimal t)", tag)
     fig.add("shortest queue", jsq)
     fig.add("random", rnd)

@@ -1,0 +1,44 @@
+"""Parallel, cached, warm-started parameter sweeps.
+
+Every paper figure is 30-60 independent steady-state solves; threshold-
+and timeout-tuning studies need the same shape of dense grid.  This
+package makes those sweeps cheap three ways:
+
+* :class:`SweepEngine` fans independent points out over a process pool
+  (``REPRO_SWEEP_WORKERS`` or ``workers=`` to configure; serial
+  fallback), preserving grid order and determinism;
+* :class:`SolveCache` memoizes solves content-addressed by
+  ``(model class, params, method, tol)`` -- in-memory LRU plus an
+  optional on-disk layer -- so repeated figures and optimiser probes hit
+  the cache instead of re-solving;
+* consecutive cache misses warm-start the iterative solvers with the
+  previous point's stationary vector (``pi0``).
+
+See ``docs/performance.md`` for the full story and
+``benchmarks/bench_sweep_engine.py`` for measured speedups.
+"""
+
+from repro.sweep.cache import SolveCache, SolveRecord, UncacheableParams, cache_key
+from repro.sweep.engine import (
+    WORKERS_ENV_VAR,
+    ModelSpec,
+    SweepEngine,
+    default_engine,
+    solve_point,
+)
+from repro.sweep.stats import PointStats, SweepResult, format_sweep_stats
+
+__all__ = [
+    "SolveCache",
+    "SolveRecord",
+    "UncacheableParams",
+    "cache_key",
+    "WORKERS_ENV_VAR",
+    "ModelSpec",
+    "SweepEngine",
+    "default_engine",
+    "solve_point",
+    "PointStats",
+    "SweepResult",
+    "format_sweep_stats",
+]

@@ -1,0 +1,366 @@
+"""The parallel sweep engine.
+
+Paper figures and tuning studies are *sweeps*: 30-60 independent
+steady-state solves over a parameter grid.  The engine runs such sweeps
+
+* **in parallel** -- independent points fan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (serial fallback when
+  one worker is enough or multiprocessing is unavailable).  The worker
+  count comes from, in order: the ``workers=`` call argument, the
+  engine's ``workers`` attribute, the ``REPRO_SWEEP_WORKERS`` environment
+  variable, ``os.cpu_count()``;
+* **cached** -- every point is first looked up in a content-addressed
+  :class:`~repro.sweep.cache.SolveCache`, so re-running a figure, a
+  second figure over the same grid, or an optimiser re-probing a point
+  costs a dict lookup instead of a solve;
+* **warm-started** -- adjacent grid points have nearly identical
+  stationary vectors, so consecutive cache misses thread the previous
+  point's ``pi`` into the iterative solvers as ``pi0`` (chunk-local in
+  the parallel path).  Direct solvers (``gth``/``direct``) ignore the
+  hint, which keeps parallel and serial results bit-identical.
+
+The grid order is always preserved in the results, regardless of worker
+scheduling, and every point carries a :class:`~repro.sweep.stats.
+PointStats` record for observability.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.ctmc.steady import ITERATIVE_METHODS, steady_state
+from repro.sweep.cache import SolveCache, SolveRecord, UncacheableParams, cache_key
+from repro.sweep.stats import PointStats, SweepResult
+
+__all__ = [
+    "WORKERS_ENV_VAR",
+    "ModelSpec",
+    "SweepEngine",
+    "solve_point",
+    "default_engine",
+]
+
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+"""Environment variable overriding the default worker count."""
+
+
+def solve_point(
+    model_cls: type,
+    params: Mapping,
+    method: str = "auto",
+    tol: float = 1e-8,
+    pi0=None,
+) -> SolveRecord:
+    """Solve one parameter point and return a cacheable record.
+
+    ``model_cls(**params)`` must yield an object with ``.metrics()``.
+    Models exposing a ``generator`` (the direct CTMC constructions) are
+    solved through :func:`~repro.ctmc.steady.steady_state` with the given
+    method/tolerance and optional warm start; closed-form models (e.g.
+    :class:`~repro.models.random_alloc.RandomAllocation`) simply have
+    their metrics evaluated.
+
+    A ``pi0`` whose length does not match the chain is dropped rather
+    than raised: grid neighbours can legitimately have different state
+    spaces (e.g. a swept buffer size), and a stale hint must not poison
+    the sweep.
+    """
+    start = time.perf_counter()
+    model = model_cls(**params)
+    gen = getattr(model, "generator", None)
+    if gen is None:
+        metrics = model.metrics()
+        return SolveRecord(
+            pi=None,
+            metrics=metrics,
+            method="closed_form",
+            iterations=None,
+            residual=0.0,
+            wall_time=time.perf_counter() - start,
+        )
+    if pi0 is not None and len(pi0) != gen.Q.shape[0]:
+        pi0 = None
+    info: dict = {}
+    pi = steady_state(gen, method=method, tol=tol, pi0=pi0, info=info)
+    model._pi = pi  # models lazily solve via .pi; hand them ours
+    metrics = model.metrics()
+    return SolveRecord(
+        pi=pi,
+        metrics=metrics,
+        method=info.get("method", method),
+        iterations=info.get("iterations"),
+        residual=float(np.abs(pi @ gen.Q).max()),
+        wall_time=time.perf_counter() - start,
+        warm_started=bool(info.get("warm_started")),
+    )
+
+
+def _solve_chunk(
+    model_cls: type,
+    param_list: Sequence[Mapping],
+    method: str,
+    tol: float,
+    warm_start: bool,
+) -> "list[SolveRecord]":
+    """Worker entry point: solve a contiguous chunk, warm-starting each
+    point from its predecessor.  Top-level so it pickles."""
+    records = []
+    pi_prev = None
+    for params in param_list:
+        rec = solve_point(model_cls, params, method, tol, pi_prev)
+        records.append(rec)
+        pi_prev = rec.pi if warm_start else None
+    return records
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A cacheable one-parameter model family for optimisers.
+
+    Where the legacy ``model_factory`` closures (``t -> model``) are
+    opaque -- nothing outside the closure knows which parameters it
+    captured -- a ``ModelSpec`` names the model class, the fixed
+    parameters and the swept parameter explicitly, which is exactly what
+    the content-addressed cache needs.
+    """
+
+    model_cls: type
+    params: tuple  # canonical ((name, value), ...) form
+    param_name: str = "t"
+
+    @classmethod
+    def of(cls, model_cls: type, param_name: str = "t", **params) -> "ModelSpec":
+        """Build a spec from keyword parameters."""
+        return cls(model_cls, tuple(sorted(params.items())), param_name)
+
+    def params_at(self, x: float) -> dict:
+        """Full constructor kwargs with the swept parameter set to ``x``."""
+        d = dict(self.params)
+        d[self.param_name] = float(x)
+        return d
+
+    def grid(self, xs) -> "list[dict]":
+        """Constructor kwargs for every point of ``xs``."""
+        return [self.params_at(x) for x in xs]
+
+    def __call__(self, x: float):
+        """Factory compatibility: ``spec(x)`` builds the model instance."""
+        return self.model_cls(**self.params_at(x))
+
+
+@dataclass
+class SweepEngine:
+    """Cached, warm-started, optionally parallel sweep executor.
+
+    Parameters
+    ----------
+    workers :
+        Default worker count for :meth:`sweep`.  ``None`` defers to the
+        ``REPRO_SWEEP_WORKERS`` environment variable, then
+        ``os.cpu_count()``.  ``1`` forces the serial path.
+    cache :
+        A :class:`~repro.sweep.cache.SolveCache` to share with other
+        engines, ``None`` for a private cache, or ``False`` to disable
+        caching entirely (every point solves).
+    method, tol :
+        Defaults forwarded to :func:`~repro.ctmc.steady.steady_state`.
+    warm_start :
+        Thread each solved point's ``pi`` into the next point's solver as
+        ``pi0``.  Only the iterative methods consume the hint.
+    """
+
+    workers: "int | None" = None
+    cache: "SolveCache | bool | None" = None
+    method: str = "auto"
+    tol: float = 1e-8
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cache is None:
+            self.cache = SolveCache()
+        elif self.cache is False:
+            self.cache = None
+        if self.tol <= 0:
+            raise ValueError("tol must be positive")
+
+    # ------------------------------------------------------------------
+    def resolve_workers(self, workers: "int | None", n_tasks: int) -> int:
+        """Effective worker count: argument > engine attribute > env var >
+        cpu count, clamped to ``[1, n_tasks]``."""
+        if workers is None:
+            workers = self.workers
+        if workers is None:
+            env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+            if env:
+                try:
+                    workers = int(env)
+                except ValueError:
+                    raise ValueError(
+                        f"{WORKERS_ENV_VAR}={env!r} is not an integer"
+                    ) from None
+        if workers is None:
+            workers = os.cpu_count() or 1
+        return max(1, min(int(workers), max(n_tasks, 1)))
+
+    def _key(self, model_cls: type, params: Mapping) -> "str | None":
+        if self.cache is None:
+            return None
+        try:
+            return cache_key(model_cls, dict(params), self.method, self.tol)
+        except UncacheableParams:
+            return None
+
+    # ------------------------------------------------------------------
+    def solve(self, model_cls: type, params: Mapping, pi0=None):
+        """Cache-aware single-point solve.
+
+        Returns ``(metrics, PointStats)``.  Useful for optimiser probes
+        and one-off reference points that should share the sweep cache.
+        """
+        start = time.perf_counter()
+        key = self._key(model_cls, params)
+        rec = self.cache.get(key) if key is not None else None
+        hit = rec is not None
+        if rec is None:
+            rec = solve_point(model_cls, params, self.method, self.tol, pi0)
+            if key is not None:
+                self.cache.put(key, rec)
+        stats = PointStats(
+            index=0,
+            key=key,
+            method=rec.method,
+            cache_hit=hit,
+            warm_started=rec.warm_started and not hit,
+            iterations=rec.iterations,
+            residual=rec.residual,
+            wall_time=time.perf_counter() - start if not hit else 0.0,
+        )
+        return rec.metrics, stats
+
+    def sweep(
+        self,
+        model_cls: type,
+        grid: Sequence[Mapping],
+        workers: "int | None" = None,
+        warm_start: "bool | None" = None,
+    ) -> SweepResult:
+        """Solve every parameter point of ``grid`` (a sequence of
+        constructor-kwarg mappings) and return a :class:`SweepResult`
+        in grid order.
+
+        Cache hits never reach a worker; only the misses are distributed.
+        With ``workers > 1`` the misses are split into contiguous chunks
+        (one per worker) so warm-start locality survives the fan-out; if
+        the pool cannot be used (unpicklable model, restricted platform)
+        the engine falls back to the serial path.
+        """
+        t_start = time.perf_counter()
+        grid = [dict(p) for p in grid]
+        warm = self.warm_start if warm_start is None else bool(warm_start)
+
+        keys = [self._key(model_cls, p) for p in grid]
+        records: dict[int, SolveRecord] = {}
+        hit_flags = [False] * len(grid)
+        for i, key in enumerate(keys):
+            if key is None:
+                continue
+            rec = self.cache.get(key)
+            if rec is not None:
+                records[i] = rec
+                hit_flags[i] = True
+
+        misses = [i for i in range(len(grid)) if i not in records]
+        n_workers = self.resolve_workers(workers, len(misses))
+        if misses:
+            solved = None
+            if n_workers > 1 and len(misses) > 1:
+                solved = self._run_parallel(model_cls, grid, misses, n_workers, warm)
+            if solved is None:  # serial path (or parallel fallback)
+                n_workers = 1
+                solved = self._run_serial(model_cls, grid, misses, warm)
+            for i, rec in zip(misses, solved):
+                records[i] = rec
+                if keys[i] is not None:
+                    self.cache.put(keys[i], rec)
+
+        metrics, stats = [], []
+        for i in range(len(grid)):
+            rec = records[i]
+            metrics.append(rec.metrics)
+            stats.append(
+                PointStats(
+                    index=i,
+                    key=keys[i],
+                    method=rec.method,
+                    cache_hit=hit_flags[i],
+                    warm_started=rec.warm_started and not hit_flags[i],
+                    iterations=rec.iterations,
+                    residual=rec.residual,
+                    wall_time=0.0 if hit_flags[i] else rec.wall_time,
+                )
+            )
+        return SweepResult(
+            metrics=metrics,
+            stats=stats,
+            wall_time=time.perf_counter() - t_start,
+            workers=n_workers,
+            params=grid,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, model_cls, grid, misses, warm) -> "list[SolveRecord]":
+        return _solve_chunk(
+            model_cls, [grid[i] for i in misses], self.method, self.tol, warm
+        )
+
+    def _run_parallel(
+        self, model_cls, grid, misses, n_workers, warm
+    ) -> "list[SolveRecord] | None":
+        """Fan the misses out over a process pool; None on failure (the
+        caller then falls back to the serial path)."""
+        chunks = [
+            [int(i) for i in c] for c in np.array_split(misses, n_workers) if len(c)
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                futures = [
+                    pool.submit(
+                        _solve_chunk,
+                        model_cls,
+                        [grid[i] for i in chunk],
+                        self.method,
+                        self.tol,
+                        warm,
+                    )
+                    for chunk in chunks
+                ]
+                per_chunk = [f.result() for f in futures]
+        except Exception:  # unpicklable model, no fork support, ...
+            return None
+        by_index = {}
+        for chunk, recs in zip(chunks, per_chunk):
+            for i, rec in zip(chunk, recs):
+                by_index[i] = rec
+        return [by_index[i] for i in misses]
+
+
+_DEFAULT_ENGINE: "SweepEngine | None" = None
+
+
+def default_engine() -> SweepEngine:
+    """The process-wide shared engine (lazily created).
+
+    All figure functions route through this engine, so e.g.
+    :func:`~repro.experiments.figures.figure6` and ``figure7`` -- which
+    sweep the same grid -- share one solve pass via its cache.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = SweepEngine(cache=SolveCache(maxsize=4096))
+    return _DEFAULT_ENGINE

@@ -1,0 +1,227 @@
+"""Content-addressed solve cache: keying, hit/miss semantics, disk layer."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.models import TagsExponential
+from repro.sweep import (
+    ModelSpec,
+    SolveCache,
+    SolveRecord,
+    SweepEngine,
+    UncacheableParams,
+    cache_key,
+)
+from repro.sweep.cache import _canon
+
+from tests.sweep._counting_model import CountingMM1K
+
+PARAMS = dict(lam=2.0, mu=5.0, K=10)
+
+
+@pytest.fixture(autouse=True)
+def reset_counter():
+    CountingMM1K.builds = 0
+    yield
+
+
+def make_engine(**kw):
+    kw.setdefault("workers", 1)
+    return SweepEngine(**kw)
+
+
+class TestCacheKey:
+    def test_stable_across_dict_order(self):
+        a = cache_key(TagsExponential, dict(lam=5.0, mu=10.0, t=51.0), "auto", 1e-8)
+        b = cache_key(TagsExponential, dict(t=51.0, mu=10.0, lam=5.0), "auto", 1e-8)
+        assert a == b
+
+    def test_numpy_scalars_equal_python_floats(self):
+        a = cache_key(TagsExponential, dict(lam=np.float64(5.0)), "auto", 1e-8)
+        b = cache_key(TagsExponential, dict(lam=5.0), "auto", 1e-8)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(params=dict(lam=5.000001, t=51.0)),
+            dict(params=dict(lam=5.0, t=52.0)),
+            dict(method="power"),
+            dict(tol=1e-6),
+            dict(model_cls=CountingMM1K),
+        ],
+        ids=["param-value", "other-param", "method", "tol", "model-class"],
+    )
+    def test_any_change_changes_key(self, change):
+        base = dict(
+            model_cls=TagsExponential,
+            params=dict(lam=5.0, t=51.0),
+            method="auto",
+            tol=1e-8,
+        )
+        changed = {**base, **change}
+        assert cache_key(**base) != cache_key(**changed)
+
+    def test_callable_param_is_uncacheable(self):
+        with pytest.raises(UncacheableParams):
+            cache_key(TagsExponential, dict(t_of_q1=lambda q: 50.0), "auto", 1e-8)
+
+    def test_distribution_objects_canonicalise(self):
+        from repro.dists.families import HyperExponential
+
+        a = _canon(HyperExponential.h2(0.99, 19.9, 0.199))
+        b = _canon(HyperExponential.h2(0.99, 19.9, 0.199))
+        c = _canon(HyperExponential.h2(0.98, 19.9, 0.199))
+        assert a == b
+        assert a != c
+
+
+class TestHitMissSemantics:
+    def test_identical_params_hit_without_resolving(self):
+        eng = make_engine()
+        m1, s1 = eng.solve(CountingMM1K, PARAMS)
+        assert CountingMM1K.builds == 1
+        assert not s1.cache_hit
+        m2, s2 = eng.solve(CountingMM1K, PARAMS)
+        assert CountingMM1K.builds == 1  # solver NOT re-invoked
+        assert s2.cache_hit
+        assert m2.mean_jobs == m1.mean_jobs
+
+    def test_changed_param_misses(self):
+        eng = make_engine()
+        eng.solve(CountingMM1K, PARAMS)
+        eng.solve(CountingMM1K, dict(PARAMS, lam=2.5))
+        assert CountingMM1K.builds == 2
+
+    def test_changed_method_misses(self):
+        e1 = make_engine()
+        e2 = make_engine(method="power", cache=e1.cache)
+        e1.solve(CountingMM1K, PARAMS)
+        e2.solve(CountingMM1K, PARAMS)
+        assert CountingMM1K.builds == 2
+
+    def test_changed_tol_misses(self):
+        e1 = make_engine()
+        e2 = make_engine(tol=1e-6, cache=e1.cache)
+        e1.solve(CountingMM1K, PARAMS)
+        e2.solve(CountingMM1K, PARAMS)
+        assert CountingMM1K.builds == 2
+
+    def test_sweep_then_point_lookup_shares(self):
+        eng = make_engine()
+        grid = [dict(PARAMS, lam=x) for x in (1.0, 2.0, 3.0)]
+        eng.sweep(CountingMM1K, grid)
+        assert CountingMM1K.builds == 3
+        eng.solve(CountingMM1K, dict(PARAMS, lam=2.0))
+        assert CountingMM1K.builds == 3
+
+    def test_cache_disabled(self):
+        eng = make_engine(cache=False)
+        eng.solve(CountingMM1K, PARAMS)
+        eng.solve(CountingMM1K, PARAMS)
+        assert CountingMM1K.builds == 2
+
+    def test_lru_eviction(self):
+        cache = SolveCache(maxsize=2)
+        eng = make_engine(cache=cache)
+        for lam in (1.0, 2.0, 3.0):
+            eng.solve(CountingMM1K, dict(PARAMS, lam=lam))
+        assert len(cache) == 2
+        eng.solve(CountingMM1K, dict(PARAMS, lam=1.0))  # evicted -> resolve
+        assert CountingMM1K.builds == 4
+
+
+class TestDiskLayer:
+    def test_round_trip_across_fresh_cache(self, tmp_path):
+        eng1 = make_engine(cache=SolveCache(disk_dir=tmp_path))
+        m1, _ = eng1.solve(CountingMM1K, PARAMS)
+        assert CountingMM1K.builds == 1
+
+        # brand-new cache instance, same directory: disk hit, no solve
+        eng2 = make_engine(cache=SolveCache(disk_dir=tmp_path))
+        m2, s2 = eng2.solve(CountingMM1K, PARAMS)
+        assert CountingMM1K.builds == 1
+        assert s2.cache_hit
+        assert m2.mean_jobs == m1.mean_jobs
+        np.testing.assert_array_equal(
+            eng2.cache.get(s2.key).pi, eng1.cache.get(s2.key).pi
+        )
+
+    def test_corrupt_file_recomputes(self, tmp_path):
+        eng1 = make_engine(cache=SolveCache(disk_dir=tmp_path))
+        _, s1 = eng1.solve(CountingMM1K, PARAMS)
+        (tmp_path / f"{s1.key}.pkl").write_bytes(b"not a pickle at all")
+
+        eng2 = make_engine(cache=SolveCache(disk_dir=tmp_path))
+        _, s2 = eng2.solve(CountingMM1K, PARAMS)
+        assert not s2.cache_hit
+        assert CountingMM1K.builds == 2
+        # and the recompute heals the file for the next fresh cache
+        eng3 = make_engine(cache=SolveCache(disk_dir=tmp_path))
+        _, s3 = eng3.solve(CountingMM1K, PARAMS)
+        assert s3.cache_hit
+
+    def test_truncated_pickle_recomputes(self, tmp_path):
+        eng1 = make_engine(cache=SolveCache(disk_dir=tmp_path))
+        _, s1 = eng1.solve(CountingMM1K, PARAMS)
+        path = tmp_path / f"{s1.key}.pkl"
+        path.write_bytes(path.read_bytes()[:20])
+
+        eng2 = make_engine(cache=SolveCache(disk_dir=tmp_path))
+        _, s2 = eng2.solve(CountingMM1K, PARAMS)
+        assert not s2.cache_hit and CountingMM1K.builds == 2
+
+    def test_wrong_object_type_recomputes(self, tmp_path):
+        eng1 = make_engine(cache=SolveCache(disk_dir=tmp_path))
+        _, s1 = eng1.solve(CountingMM1K, PARAMS)
+        with open(tmp_path / f"{s1.key}.pkl", "wb") as fh:
+            pickle.dump({"not": "a record"}, fh)
+        eng2 = make_engine(cache=SolveCache(disk_dir=tmp_path))
+        _, s2 = eng2.solve(CountingMM1K, PARAMS)
+        assert not s2.cache_hit and CountingMM1K.builds == 2
+
+    def test_no_stray_tmp_files(self, tmp_path):
+        eng = make_engine(cache=SolveCache(disk_dir=tmp_path))
+        eng.solve(CountingMM1K, PARAMS)
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_clear_disk(self, tmp_path):
+        cache = SolveCache(disk_dir=tmp_path)
+        eng = make_engine(cache=cache)
+        eng.solve(CountingMM1K, PARAMS)
+        cache.clear(disk=True)
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".pkl")] == []
+        eng.solve(CountingMM1K, PARAMS)
+        assert CountingMM1K.builds == 2
+
+
+class TestUncacheablePoints:
+    def test_callable_param_still_solves(self):
+        eng = SweepEngine(workers=1)
+        m, s = eng.solve(
+            TagsExponential,
+            dict(lam=5.0, mu=10.0, n=2, K1=2, K2=2, t=50.0,
+                 t_of_q1=lambda q: 50.0),
+        )
+        assert s.key is None and not s.cache_hit
+        assert m.throughput > 0
+
+
+class TestModelSpec:
+    def test_spec_round_trip(self):
+        spec = ModelSpec.of(CountingMM1K, param_name="lam", mu=5.0, K=10)
+        assert spec.params_at(2.0) == dict(mu=5.0, K=10, lam=2.0)
+        assert spec.grid([1.0, 2.0])[1]["lam"] == 2.0
+        model = spec(2.0)
+        assert isinstance(model, CountingMM1K)
+
+    def test_record_is_picklable(self):
+        eng = make_engine()
+        _, s = eng.solve(CountingMM1K, PARAMS)
+        rec = eng.cache.get(s.key)
+        clone = pickle.loads(pickle.dumps(rec))
+        assert isinstance(clone, SolveRecord)
+        np.testing.assert_array_equal(clone.pi, rec.pi)

@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.sim",
     "repro.batch",
     "repro.experiments",
+    "repro.sweep",
 ]
 
 
@@ -57,6 +58,8 @@ class TestDocstrings:
             "repro.models.tags_direct",
             "repro.approx.balance",
             "repro.sim.runner",
+            "repro.sweep.engine",
+            "repro.sweep.cache",
         ],
     )
     def test_public_callables_documented(self, name):
