@@ -29,6 +29,10 @@ Subpackages
 ``repro.sweep``
     Parallel, cached, warm-started parameter-sweep engine (what the
     figure regenerations and optimisers solve through).
+``repro.obs``
+    Zero-overhead observability: spans, counters/gauges and iteration
+    traces recorded through the solvers, state-space builders, the
+    simulator, the sweep engine and the CLI (``REPRO_OBS`` to enable).
 """
 
 __version__ = "1.1.0"
@@ -43,5 +47,6 @@ __all__ = [
     "batch",
     "experiments",
     "sweep",
+    "obs",
     "core",
 ]

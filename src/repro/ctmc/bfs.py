@@ -11,11 +11,13 @@ both constructions to each other.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.ctmc import Generator
 
 __all__ = ["bfs_generator"]
@@ -33,7 +35,14 @@ def bfs_generator(
     reachable tuples (``states[0] == initial``) and ``index`` the reverse
     map.  Parallel transitions with the same action are summed; self-loops
     are kept in the per-action matrices only.
+
+    Each build files a ``ctmc.bfs`` span (state/transition counts) and
+    ``ctmc.bfs.states``/``ctmc.bfs.transitions`` counters with the
+    :mod:`repro.obs` recorder; the exploration loop itself is untouched,
+    so disabled recording costs one attribute check per build.
     """
+    rec = obs.recorder()
+    t0 = time.perf_counter() if rec.enabled else 0.0
     index = {initial: 0}
     states = [initial]
     src: list[int] = []
@@ -75,4 +84,10 @@ def bfs_generator(
             (rate_a[mask], (src_a[mask], dst_a[mask])), shape=(n, n)
         )
     gen = Generator.from_triples(n, src_a, dst_a, rate_a, action_rates=action_rates)
+    if rec.enabled:
+        rec.record_span(
+            "ctmc.bfs", t0, time.perf_counter() - t0, states=n, transitions=len(src)
+        )
+        rec.add("ctmc.bfs.states", n)
+        rec.add("ctmc.bfs.transitions", len(src))
     return gen, states, index

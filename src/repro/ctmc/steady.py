@@ -20,16 +20,26 @@ Several solvers are provided because they trade accuracy against scale:
 :func:`steady_state` picks ``gth`` below :data:`GTH_CUTOFF` states and
 ``direct`` above, which is the right default for every model in this
 reproduction (the paper's largest chains are ~10^4 states).
+
+Every solver files a ``steady_state`` span (attributes: method, chain
+size, iteration count where applicable) with the process-global
+:mod:`repro.obs` recorder, and the iterative solvers additionally emit a
+per-iteration convergence trace (``steady_state.power`` etc.: step-delta
+or preconditioned-residual series).  With the default
+:class:`~repro.obs.NullRecorder` all of this is skipped behind a single
+attribute check per solve.
 """
 
 from __future__ import annotations
 
+import time
 import warnings
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import obs
 from repro.ctmc.generator import Generator
 
 __all__ = [
@@ -170,6 +180,8 @@ def steady_state_gth(generator, tol: float = 1e-8) -> np.ndarray:
     """
     Q = _as_Q(generator)
     n = Q.shape[0]
+    rec = obs.recorder()
+    t0 = time.perf_counter() if rec.enabled else 0.0
     A = Q.toarray().astype(np.float64, copy=True)
     np.fill_diagonal(A, 0.0)
     # Eliminate states n-1 .. 1.  After eliminating state k, A[:k, :k]
@@ -196,7 +208,12 @@ def steady_state_gth(generator, tol: float = 1e-8) -> np.ndarray:
     pi[0] = 1.0
     for k in range(1, n):
         pi[k] = (pi[:k] @ A[:k, k]) / s_elim[k]
-    return _check_result(pi, Q, tol)
+    pi = _check_result(pi, Q, tol)
+    if rec.enabled:
+        rec.record_span(
+            "steady_state", t0, time.perf_counter() - t0, method="gth", n=n
+        )
+    return pi
 
 
 def steady_state_direct(generator, tol: float = 1e-8) -> np.ndarray:
@@ -212,6 +229,8 @@ def steady_state_direct(generator, tol: float = 1e-8) -> np.ndarray:
     """
     Q = _as_Q(generator)
     n = Q.shape[0]
+    rec = obs.recorder()
+    t0 = time.perf_counter() if rec.enabled else 0.0
 
     def solve_anchored(anchor: int) -> np.ndarray:
         keep = np.arange(n) != anchor
@@ -231,8 +250,9 @@ def steady_state_direct(generator, tol: float = 1e-8) -> np.ndarray:
         return pi
 
     pi = solve_anchored(n - 1)
+    reanchored = False
     try:
-        return _check_result(pi, Q, tol)
+        pi = _check_result(pi, Q, tol)
     except SteadyStateError:
         # anchoring a tiny-probability state loses accuracy on stiff
         # chains; re-anchor at the (estimated) most likely state -- by
@@ -240,8 +260,18 @@ def steady_state_direct(generator, tol: float = 1e-8) -> np.ndarray:
         anchor = int(np.argmax(np.abs(pi)))
         if anchor == n - 1:  # first anchor dominated: nothing to learn
             raise
-        pi = solve_anchored(anchor)
-        return _check_result(pi, Q, tol)
+        pi = _check_result(solve_anchored(anchor), Q, tol)
+        reanchored = True
+    if rec.enabled:
+        rec.record_span(
+            "steady_state",
+            t0,
+            time.perf_counter() - t0,
+            method="direct",
+            n=n,
+            reanchored=reanchored,
+        )
+    return pi
 
 
 def steady_state_power(
@@ -261,22 +291,47 @@ def steady_state_power(
     """
     Q = _as_Q(generator)
     n = Q.shape[0]
+    rec = obs.recorder()
+    t0 = time.perf_counter() if rec.enabled else 0.0
+    trace = [] if rec.enabled else None
     lam = float(-Q.diagonal().min()) * 1.05
     if lam <= 0:
         raise SteadyStateError("chain has no transitions")
     P = sp.eye(n, format="csr") + Q / lam
     pi = np.full(n, 1.0 / n) if pi0 is None else _check_pi0(pi0, n)
+    delta = float("inf")
     for it in range(1, max_iter + 1):
         new = pi @ P
         new /= new.sum()
-        if it % check_every == 0 and np.abs(new - pi).max() < tol * 1e-2:
-            pi = new
-            break
+        if it % check_every == 0:
+            delta = float(np.abs(new - pi).max())
+            if trace is not None:
+                trace.append((it, delta))
+            if delta < tol * 1e-2:
+                pi = new
+                break
         pi = new
     else:
-        raise SteadyStateError(f"power iteration did not converge in {max_iter}")
+        residual = float(np.abs(pi @ Q).max())
+        raise SteadyStateError(
+            f"power iteration did not converge in {max_iter} iterations: "
+            f"last step delta {delta:g} (target {tol * 1e-2:g}), "
+            f"achieved residual {residual:g}"
+        )
     _record_info(info, method="power", iterations=it, warm_started=pi0 is not None)
-    return _check_result(pi, Q, tol)
+    pi = _check_result(pi, Q, tol)
+    if rec.enabled:
+        rec.record_span(
+            "steady_state",
+            t0,
+            time.perf_counter() - t0,
+            method="power",
+            n=n,
+            iterations=it,
+            warm_started=pi0 is not None,
+        )
+        rec.trace("steady_state.power", trace, n=n)
+    return pi
 
 
 def steady_state_gauss_seidel(
@@ -296,28 +351,52 @@ def steady_state_gauss_seidel(
     Q = _as_Q(generator)
     QT = sp.csc_matrix(Q.T)
     n = QT.shape[0]
+    rec = obs.recorder()
+    t0 = time.perf_counter() if rec.enabled else 0.0
+    trace = [] if rec.enabled else None
     DL = sp.tril(QT, k=0, format="csc")
     U = sp.triu(QT, k=1, format="csr")
     if np.any(DL.diagonal() == 0):
         raise SteadyStateError("zero diagonal entry; absorbing state present")
     x = np.full(n, 1.0 / n) if pi0 is None else _check_pi0(pi0, n)
+    delta = float("inf")
     for it in range(1, max_iter + 1):
         rhs = -(U @ x)
         x_new = spla.spsolve_triangular(DL, rhs, lower=True)
         s = x_new.sum()
         if s == 0 or not np.all(np.isfinite(x_new)):
-            raise SteadyStateError("Gauss-Seidel diverged")
+            raise SteadyStateError(f"Gauss-Seidel diverged at sweep {it}")
         x_new = x_new / s
-        if np.abs(x_new - x).max() < tol * 1e-2:
+        delta = float(np.abs(x_new - x).max())
+        if trace is not None:
+            trace.append((it, delta))
+        if delta < tol * 1e-2:
             x = x_new
             break
         x = x_new
     else:
-        raise SteadyStateError(f"Gauss-Seidel did not converge in {max_iter}")
+        residual = float(np.abs(x @ Q).max())
+        raise SteadyStateError(
+            f"Gauss-Seidel did not converge in {max_iter} sweeps: "
+            f"last sweep delta {delta:g} (target {tol * 1e-2:g}), "
+            f"achieved residual {residual:g}"
+        )
     _record_info(
         info, method="gauss_seidel", iterations=it, warm_started=pi0 is not None
     )
-    return _check_result(x, Q, tol)
+    x = _check_result(x, Q, tol)
+    if rec.enabled:
+        rec.record_span(
+            "steady_state",
+            t0,
+            time.perf_counter() - t0,
+            method="gauss_seidel",
+            n=n,
+            iterations=it,
+            warm_started=pi0 is not None,
+        )
+        rec.trace("steady_state.gauss_seidel", trace, n=n)
+    return x
 
 
 def steady_state_gmres(
@@ -332,6 +411,9 @@ def steady_state_gmres(
     """
     Q = _as_Q(generator)
     n = Q.shape[0]
+    rec = obs.recorder()
+    t0 = time.perf_counter() if rec.enabled else 0.0
+    trace = [] if rec.enabled else None
     A = sp.lil_matrix(Q.T)
     A[n - 1, :] = 1.0
     A = sp.csc_matrix(A)
@@ -344,9 +426,13 @@ def steady_state_gmres(
     except RuntimeError:
         M = None
     iters = [0]
+    last_norm = [float("inf")]
 
-    def count(_):
+    def count(pr_norm):
         iters[0] += 1
+        last_norm[0] = float(pr_norm)
+        if trace is not None:
+            trace.append((iters[0], float(pr_norm)))
 
     x, code = spla.gmres(
         A,
@@ -360,8 +446,24 @@ def steady_state_gmres(
         callback_type="pr_norm",
     )
     if code != 0:
-        raise SteadyStateError(f"GMRES failed to converge (info={code})")
+        raise SteadyStateError(
+            f"GMRES failed to converge after {iters[0]} iterations "
+            f"(info={code}): preconditioned residual norm {last_norm[0]:g} "
+            f"(target {tol * 1e-2:g})"
+        )
     _record_info(
         info, method="gmres", iterations=iters[0], warm_started=pi0 is not None
     )
-    return _check_result(x, Q, tol)
+    x = _check_result(x, Q, tol)
+    if rec.enabled:
+        rec.record_span(
+            "steady_state",
+            t0,
+            time.perf_counter() - t0,
+            method="gmres",
+            n=n,
+            iterations=iters[0],
+            warm_started=pi0 is not None,
+        )
+        rec.trace("steady_state.gmres", trace, n=n)
+    return x

@@ -5,16 +5,28 @@ Usage::
     python -m repro.experiments                 # everything (slow)
     python -m repro.experiments 6 7 s1 t1       # selected experiments
     python -m repro.experiments 9 --csv out/    # also write out/figure9.csv
+    python -m repro.experiments 9 --trace t.jsonl --obs-summary
 
 Experiment ids: ``6``-``12`` (figures), ``s1`` (Section 1 example),
 ``t1`` (state-space count), ``a`` (Section 4 approximations).
+
+Observability flags (see ``docs/observability.md``):
+
+``--trace FILE``
+    Record the whole run (every solve, state-space build and sweep --
+    including pool-worker events) and append the JSONL event log to
+    FILE.
+``--obs-summary``
+    Print the aggregated span/counter/gauge/trace tables after the run.
 """
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
 import sys
 
+from repro import obs
 from repro.experiments import (
     figure6,
     figure7,
@@ -73,40 +85,71 @@ FIGURES = {
 SPECIALS = {"s1": _print_s1, "t1": _print_t1, "a": _print_a}
 
 
+def _pop_path_flag(args: list, flag: str) -> "pathlib.Path | None":
+    """Extract ``flag PATH`` from ``args`` (paths keep their case)."""
+    if flag not in args:
+        return None
+    i = args.index(flag)
+    try:
+        path = pathlib.Path(args[i + 1])
+    except IndexError:
+        raise SystemExit(f"{flag} needs a path argument")
+    del args[i : i + 2]
+    return path
+
+
 def main(argv=None) -> int:
-    args = [a.lower() for a in (sys.argv[1:] if argv is None else argv)]
-    csv_dir = None
-    if "--csv" in args:
-        i = args.index("--csv")
-        try:
-            csv_dir = pathlib.Path(args[i + 1])
-        except IndexError:
-            print("--csv needs a directory argument", file=sys.stderr)
-            return 2
-        del args[i : i + 2]
+    raw = list(sys.argv[1:] if argv is None else argv)
+    try:
+        csv_dir = _pop_path_flag(raw, "--csv")
+        trace_path = _pop_path_flag(raw, "--trace")
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    obs_summary = "--obs-summary" in raw
+    if obs_summary:
+        raw.remove("--obs-summary")
+    if csv_dir is not None:
         csv_dir.mkdir(parents=True, exist_ok=True)
+    args = [a.lower() for a in raw]
     if not args:
         args = ["s1", "t1", "a"] + sorted(FIGURES, key=int)
-    for arg in args:
-        if arg in SPECIALS:
-            SPECIALS[arg]()
-        elif arg in FIGURES:
-            fig = FIGURES[arg]()
-            print(render_figure(fig, max_rows=20))
-            if csv_dir is not None:
-                from repro.experiments.report import figure_to_csv
 
-                path = csv_dir / f"figure{arg}.csv"
-                figure_to_csv(fig, path)
-                print(f"(written to {path})")
-        else:
-            print(
-                f"unknown experiment {arg!r}; choose from "
-                f"{sorted(SPECIALS) + sorted(FIGURES, key=int)}",
-                file=sys.stderr,
-            )
-            return 2
-        print()
+    # --trace/--obs-summary record the run even when REPRO_OBS is unset;
+    # otherwise whatever recorder the env var installed keeps working
+    rec = obs.recorder()
+    if (trace_path is not None or obs_summary) and not rec.enabled:
+        ctx = obs.use(obs.Recorder())
+    else:
+        ctx = contextlib.nullcontext(rec)
+    with ctx as rec:
+        for arg in args:
+            if arg in SPECIALS:
+                with rec.span("experiment", id=arg):
+                    SPECIALS[arg]()
+            elif arg in FIGURES:
+                with rec.span("experiment", id=arg):
+                    fig = FIGURES[arg]()
+                print(render_figure(fig, max_rows=20))
+                if csv_dir is not None:
+                    from repro.experiments.report import figure_to_csv
+
+                    path = csv_dir / f"figure{arg}.csv"
+                    figure_to_csv(fig, path)
+                    print(f"(written to {path})")
+            else:
+                print(
+                    f"unknown experiment {arg!r}; choose from "
+                    f"{sorted(SPECIALS) + sorted(FIGURES, key=int)}",
+                    file=sys.stderr,
+                )
+                return 2
+            print()
+    if trace_path is not None:
+        n = obs.write_jsonl(rec, trace_path)
+        print(f"(obs trace: {n} events appended to {trace_path})")
+    if obs_summary:
+        print(obs.format_summary(rec))
     return 0
 
 

@@ -1,7 +1,11 @@
 """Compatibility shim: the BFS CTMC builder lives in
 :mod:`repro.ctmc.bfs` (it is generic CTMC machinery, not model
 specific).  Model modules import it from here to keep call sites
-short."""
+short.
+
+Builds routed through this shim are observable like any other:
+``bfs_generator`` files a ``ctmc.bfs`` span and state/transition
+counters with the :mod:`repro.obs` recorder (no-ops by default)."""
 
 from repro.ctmc.bfs import bfs_generator
 

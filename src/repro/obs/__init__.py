@@ -1,0 +1,143 @@
+"""`repro.obs` -- zero-overhead tracing and metrics for the whole library.
+
+A process-global recorder receives **spans** (timed, nestable regions),
+**counters/gauges** (event counts and sampled values) and **iteration
+traces** (per-iteration residual/step series) from every hot subsystem:
+the ``ctmc.steady`` solvers, PEPA state-space exploration, the tuple-BFS
+builder, the discrete-event simulator, the sweep engine (including its
+``ProcessPoolExecutor`` workers, whose events are shipped back and merged
+into the parent recorder) and the ``python -m repro.experiments`` CLI.
+
+The default recorder is a :class:`NullRecorder` whose disabled path is a
+single attribute lookup -- with recording off the library runs at full
+speed (<2% on ``benchmarks/bench_solvers.py``; ``bench_obs_overhead.py``
+and the CI ``obs-overhead`` job enforce this).
+
+Enable recording either in code::
+
+    from repro import obs
+
+    with obs.use(obs.Recorder()) as rec:
+        figure9()
+    print(obs.format_summary(rec))
+    obs.write_jsonl(rec, "trace.jsonl")
+
+or from the environment (consistent with ``REPRO_SWEEP_WORKERS``)::
+
+    REPRO_OBS=record        # in-memory recorder (read back in-process)
+    REPRO_OBS=summary       # print a console summary at exit (stderr)
+    REPRO_OBS=jsonl:PATH    # append a JSONL event log to PATH at exit
+
+See ``docs/observability.md`` for the recorder API, exporter formats and
+the instrumentation map.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+
+from repro.obs.export import events, format_summary, traces_to_csv, write_jsonl
+from repro.obs.recorder import (
+    GaugeStats,
+    IterationTrace,
+    NullRecorder,
+    Recorder,
+    Span,
+    SpanRecord,
+)
+
+__all__ = [
+    "OBS_ENV_VAR",
+    "GaugeStats",
+    "IterationTrace",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "SpanRecord",
+    "recorder",
+    "install",
+    "use",
+    "events",
+    "format_summary",
+    "traces_to_csv",
+    "write_jsonl",
+]
+
+OBS_ENV_VAR = "REPRO_OBS"
+"""Environment variable enabling recording process-wide."""
+
+_recorder: Recorder = NullRecorder()
+
+
+def recorder() -> Recorder:
+    """The process-global recorder (a :class:`NullRecorder` by default).
+
+    Instrumentation sites call this once per region and gate everything
+    on ``rec.enabled`` -- the whole cost of disabled observability.
+    """
+    return _recorder
+
+
+def install(rec: "Recorder | None") -> Recorder:
+    """Swap the process-global recorder (``None`` restores the null one).
+    Returns the recorder now in place."""
+    global _recorder
+    _recorder = rec if rec is not None else NullRecorder()
+    return _recorder
+
+
+@contextmanager
+def use(rec: Recorder):
+    """Temporarily install ``rec`` as the process-global recorder::
+
+        with obs.use(obs.Recorder()) as rec:
+            ...instrumented work...
+        rec.spans, rec.counters, ...   # inspect afterwards
+    """
+    global _recorder
+    prev = _recorder
+    _recorder = rec
+    try:
+        yield rec
+    finally:
+        _recorder = prev
+
+
+def _configure_from_env() -> None:
+    """Install a recorder according to ``REPRO_OBS`` (no-op when unset).
+
+    Exit hooks only fire when something was recorded, so forked pool
+    workers -- which route their events through drained payloads instead
+    of their inherited global recorder -- do not write empty exports.
+    """
+    spec = os.environ.get(OBS_ENV_VAR, "").strip()
+    if not spec or spec.lower() in {"0", "off", "none", "null"}:
+        return
+    kind, _, arg = spec.partition(":")
+    kind = kind.lower()
+    if kind in {"1", "on", "record", "mem"}:
+        install(Recorder())
+        return
+    if kind in {"summary", "jsonl"}:
+        import atexit
+
+        rec = install(Recorder())
+        if kind == "jsonl":
+            if not arg:
+                raise ValueError(f"{OBS_ENV_VAR}=jsonl needs a path: jsonl:PATH")
+            atexit.register(lambda: rec.n_events and write_jsonl(rec, arg))
+        else:
+            atexit.register(
+                lambda: rec.n_events
+                and print(format_summary(rec), file=sys.stderr)
+            )
+        return
+    raise ValueError(
+        f"{OBS_ENV_VAR}={spec!r} not understood; use 'record', 'summary' "
+        "or 'jsonl:PATH'"
+    )
+
+
+_configure_from_env()

@@ -12,10 +12,12 @@ incomplete (some ``T`` never met an active partner) and raises
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.pepa.semantics import TransitionContext
 from repro.pepa.syntax import Component, Constant, Cooperation, Hiding, Model
 
@@ -113,8 +115,18 @@ def explore(
     *,
     max_states: int = 2_000_000,
 ) -> StateSpace:
-    """BFS exploration of the reachable derivatives of ``model.system``."""
+    """BFS exploration of the reachable derivatives of ``model.system``.
+
+    Progress and shape are reported through :mod:`repro.obs`: one
+    ``pepa.explore`` span (state/transition counts, BFS depth), a
+    ``pepa.explore.frontier`` iteration trace (frontier size per BFS
+    level -- the chain's breadth profile) and a ``pepa.frontier`` gauge.
+    """
     ctx = TransitionContext(model)
+    rec = obs.recorder()
+    rec_on = rec.enabled
+    t0 = time.perf_counter() if rec_on else 0.0
+    frontier_sizes: list = []
     index: dict = {model.system: 0}
     states: list = [model.system]
     src: list = []
@@ -124,6 +136,9 @@ def explore(
 
     frontier = [0]
     while frontier:
+        if rec_on:
+            frontier_sizes.append((len(frontier_sizes), len(frontier)))
+            rec.gauge("pepa.frontier", len(frontier))
         next_frontier: list = []
         for sid in frontier:
             state = states[sid]
@@ -156,6 +171,18 @@ def explore(
                 actions.append(action)
         frontier = next_frontier
 
+    if rec_on:
+        rec.record_span(
+            "pepa.explore",
+            t0,
+            time.perf_counter() - t0,
+            states=len(states),
+            transitions=len(src),
+            depth=len(frontier_sizes),
+        )
+        rec.trace("pepa.explore.frontier", frontier_sizes)
+        rec.add("pepa.states", len(states))
+        rec.add("pepa.transitions", len(src))
     return StateSpace(
         states=states,
         index=index,

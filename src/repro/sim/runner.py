@@ -21,11 +21,13 @@ is ever scheduled -- no event cancellation is needed.
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.sim.stats import TimeAverage, batch_means_ci
 
 __all__ = ["Simulation", "SimulationResult", "replicate", "replicate_until"]
@@ -33,9 +35,18 @@ __all__ = ["Simulation", "SimulationResult", "replicate", "replicate_until"]
 
 @dataclass
 class _Job:
+    """One job: its arrival time, lifetime demand, and -- under resume
+    policies -- the work still outstanding after kills.
+
+    ``remaining`` is genuinely optional (``None`` means "not yet
+    started": it is filled with the full demand on construction), so it
+    is typed ``float | None`` rather than lying to the dataclass with a
+    ``float`` annotation and a ``None`` default.
+    """
+
     arrival_time: float
     demand: float
-    remaining: float = None  # type: ignore[assignment]
+    remaining: float | None = None
 
     def __post_init__(self) -> None:
         if self.remaining is None:
@@ -180,6 +191,8 @@ class Simulation:
     def run(self, t_end: float, warmup: float = 0.0) -> SimulationResult:
         if t_end <= warmup:
             raise ValueError("t_end must exceed warmup")
+        rec = obs.recorder()
+        t_wall0 = time.perf_counter() if rec.enabled else 0.0
         rng = self.rng
         n_nodes = len(self.capacities)
         queues = [deque() for _ in range(n_nodes)]
@@ -188,6 +201,7 @@ class Simulation:
         seq = 0
 
         offered = completed = dropped_arrival = dropped_forward = 0
+        killed = forwarded = 0
         responses: list = []
         slowdowns: list = []
         demands: list = []
@@ -237,6 +251,7 @@ class Simulation:
                 for node_i in range(n_nodes):
                     q_avg[node_i].reset(now, len(queues[node_i]))
                 offered = completed = dropped_arrival = dropped_forward = 0
+                killed = forwarded = 0
                 responses.clear()
                 slowdowns.clear()
                 demands.clear()
@@ -269,10 +284,12 @@ class Simulation:
             elif kind == "kill":
                 job = queues[node].popleft()
                 note_queue(now, node)
+                killed += 1
                 target = self.policy.forward(node)
                 if target is None or len(queues[target]) >= self.capacities[target]:
                     dropped_forward += 1
                 else:
+                    forwarded += 1
                     queues[target].append(job)
                     note_queue(now, target)
                     if len(queues[target]) == 1:
@@ -283,6 +300,23 @@ class Simulation:
                 raise AssertionError(kind)
 
         duration = max(t_end - warmup, 1e-12)
+        if rec.enabled:
+            rec.record_span(
+                "sim.run",
+                t_wall0,
+                time.perf_counter() - t_wall0,
+                t_end=t_end,
+                warmup=warmup,
+                nodes=n_nodes,
+            )
+            rec.add("sim.offered", offered)
+            rec.add("sim.completed", completed)
+            rec.add("sim.killed", killed)
+            rec.add("sim.forwarded", forwarded)
+            rec.add("sim.dropped.arrival", dropped_arrival)
+            rec.add("sim.dropped.forward", dropped_forward)
+            for i, avg in enumerate(q_avg):
+                rec.gauge("sim.mean_queue_length", avg.mean(t_end), node=i)
         return SimulationResult(
             duration=duration,
             offered=offered,
@@ -305,8 +339,11 @@ def replicate(
     """Run ``n_reps`` independent replications.
 
     ``make_simulation(seed)`` builds a fresh :class:`Simulation`.  Returns
-    a dict of arrays keyed by metric, plus convenience means.
+    a dict of arrays keyed by metric, plus convenience means.  Each
+    replication runs inside a ``sim.replication`` span, so a recorded
+    replication study shows per-replication wall times.
     """
+    rec = obs.recorder()
     metrics = {
         "throughput": [],
         "mean_jobs": [],
@@ -315,7 +352,8 @@ def replicate(
         "loss_probability": [],
     }
     for rep in range(n_reps):
-        res = make_simulation(rep).run(t_end, warmup)
+        with rec.span("sim.replication", rep=rep):
+            res = make_simulation(rep).run(t_end, warmup)
         for key in metrics:
             metrics[key].append(getattr(res, key))
     out = {k: np.asarray(v) for k, v in metrics.items()}
@@ -349,9 +387,11 @@ def replicate_until(
         raise ValueError("rel_half_width must be positive")
     if min_reps < 2:
         raise ValueError("need at least two replications for a CI")
+    rec = obs.recorder()
     values: list = []
     for rep in range(max_reps):
-        res = make_simulation(rep).run(t_end, warmup)
+        with rec.span("sim.replication", rep=rep):
+            res = make_simulation(rep).run(t_end, warmup)
         values.append(float(getattr(res, metric)))
         if len(values) < min_reps:
             continue

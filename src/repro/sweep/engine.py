@@ -22,6 +22,16 @@ steady-state solves over a parameter grid.  The engine runs such sweeps
 The grid order is always preserved in the results, regardless of worker
 scheduling, and every point carries a :class:`~repro.sweep.stats.
 PointStats` record for observability.
+
+Observability is native, not bolted on: every ``sweep()`` runs inside a
+``sweep`` span, every grid point files a ``sweep.point`` span (from
+which its :class:`PointStats` is *derived* -- the two can never
+disagree), cache traffic increments the ``sweep.cache.hit`` /
+``sweep.cache.miss`` counters, and pool workers record into their own
+:class:`repro.obs.Recorder` whose drained buffer rides back with each
+chunk result and is merged into the parent recorder.  All of it
+vanishes behind a single attribute check when the process-global
+recorder is the default :class:`~repro.obs.NullRecorder`.
 """
 
 from __future__ import annotations
@@ -34,7 +44,9 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ctmc.steady import ITERATIVE_METHODS, steady_state
+from repro.obs import SpanRecord
 from repro.sweep.cache import SolveCache, SolveRecord, UncacheableParams, cache_key
 from repro.sweep.stats import PointStats, SweepResult
 
@@ -107,16 +119,56 @@ def _solve_chunk(
     method: str,
     tol: float,
     warm_start: bool,
-) -> "list[SolveRecord]":
+    record: bool = False,
+) -> "tuple[list[SolveRecord], dict | None]":
     """Worker entry point: solve a contiguous chunk, warm-starting each
-    point from its predecessor.  Top-level so it pickles."""
+    point from its predecessor.  Top-level so it pickles.
+
+    Returns ``(records, obs_payload)``.  With ``record=True`` (the parent
+    process has a live recorder) the chunk runs under a private
+    :class:`repro.obs.Recorder` and ships its drained buffer back for the
+    parent to merge; otherwise the payload is ``None`` and events flow to
+    whatever recorder is globally installed (the in-process serial case).
+    """
+    if record:
+        child = obs.Recorder()
+        with obs.use(child):
+            records, _ = _solve_chunk(model_cls, param_list, method, tol, warm_start)
+        return records, child.drain()
     records = []
     pi_prev = None
     for params in param_list:
         rec = solve_point(model_cls, params, method, tol, pi_prev)
         records.append(rec)
         pi_prev = rec.pi if warm_start else None
-    return records
+    return records, None
+
+
+def _point_span(
+    index: int, key: "str | None", rec: SolveRecord, hit: bool, end: float
+) -> SpanRecord:
+    """The ``sweep.point`` span for one grid point.
+
+    Built unconditionally (30-60 per sweep -- nowhere near a hot loop) so
+    :meth:`PointStats.from_span` always has a span to derive from; only
+    *filing* it with the recorder is gated on recording being enabled.
+    Cache hits carry zero duration: no solver ran.
+    """
+    wall = 0.0 if hit else rec.wall_time
+    return SpanRecord(
+        name="sweep.point",
+        t0=end - wall,
+        duration=wall,
+        attrs=dict(
+            index=index,
+            key=key,
+            method=rec.method,
+            cache_hit=hit,
+            warm_started=rec.warm_started and not hit,
+            iterations=rec.iterations,
+            residual=rec.residual,
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -223,7 +275,7 @@ class SweepEngine:
         Returns ``(metrics, PointStats)``.  Useful for optimiser probes
         and one-off reference points that should share the sweep cache.
         """
-        start = time.perf_counter()
+        recorder = obs.recorder()
         key = self._key(model_cls, params)
         rec = self.cache.get(key) if key is not None else None
         hit = rec is not None
@@ -231,17 +283,10 @@ class SweepEngine:
             rec = solve_point(model_cls, params, self.method, self.tol, pi0)
             if key is not None:
                 self.cache.put(key, rec)
-        stats = PointStats(
-            index=0,
-            key=key,
-            method=rec.method,
-            cache_hit=hit,
-            warm_started=rec.warm_started and not hit,
-            iterations=rec.iterations,
-            residual=rec.residual,
-            wall_time=time.perf_counter() - start if not hit else 0.0,
-        )
-        return rec.metrics, stats
+        recorder.add("sweep.cache.hit" if hit else "sweep.cache.miss")
+        span = _point_span(0, key, rec, hit, time.perf_counter())
+        recorder.adopt(span)
+        return rec.metrics, PointStats.from_span(span)
 
     def sweep(
         self,
@@ -260,70 +305,83 @@ class SweepEngine:
         the pool cannot be used (unpicklable model, restricted platform)
         the engine falls back to the serial path.
         """
+        recorder = obs.recorder()
         t_start = time.perf_counter()
         grid = [dict(p) for p in grid]
         warm = self.warm_start if warm_start is None else bool(warm_start)
 
-        keys = [self._key(model_cls, p) for p in grid]
-        records: dict[int, SolveRecord] = {}
-        hit_flags = [False] * len(grid)
-        for i, key in enumerate(keys):
-            if key is None:
-                continue
-            rec = self.cache.get(key)
-            if rec is not None:
-                records[i] = rec
-                hit_flags[i] = True
+        with recorder.span(
+            "sweep", model=model_cls.__name__, points=len(grid)
+        ) as sweep_span:
+            keys = [self._key(model_cls, p) for p in grid]
+            records: dict[int, SolveRecord] = {}
+            hit_flags = [False] * len(grid)
+            for i, key in enumerate(keys):
+                if key is None:
+                    continue
+                rec = self.cache.get(key)
+                if rec is not None:
+                    records[i] = rec
+                    hit_flags[i] = True
 
-        misses = [i for i in range(len(grid)) if i not in records]
-        n_workers = self.resolve_workers(workers, len(misses))
-        if misses:
-            solved = None
-            if n_workers > 1 and len(misses) > 1:
-                solved = self._run_parallel(model_cls, grid, misses, n_workers, warm)
-            if solved is None:  # serial path (or parallel fallback)
-                n_workers = 1
-                solved = self._run_serial(model_cls, grid, misses, warm)
-            for i, rec in zip(misses, solved):
-                records[i] = rec
-                if keys[i] is not None:
-                    self.cache.put(keys[i], rec)
+            misses = [i for i in range(len(grid)) if i not in records]
+            n_hits = len(grid) - len(misses)
+            recorder.add("sweep.cache.hit", n_hits)
+            recorder.add("sweep.cache.miss", len(misses))
+            n_workers = self.resolve_workers(workers, len(misses))
+            if misses:
+                solved = None
+                if n_workers > 1 and len(misses) > 1:
+                    solved = self._run_parallel(
+                        model_cls, grid, misses, n_workers, warm
+                    )
+                if solved is None:  # serial path (or parallel fallback)
+                    n_workers = 1
+                    solved = self._run_serial(model_cls, grid, misses, warm)
+                for i, rec in zip(misses, solved):
+                    records[i] = rec
+                    if keys[i] is not None:
+                        self.cache.put(keys[i], rec)
 
-        metrics, stats = [], []
-        for i in range(len(grid)):
-            rec = records[i]
-            metrics.append(rec.metrics)
-            stats.append(
-                PointStats(
-                    index=i,
-                    key=keys[i],
-                    method=rec.method,
-                    cache_hit=hit_flags[i],
-                    warm_started=rec.warm_started and not hit_flags[i],
-                    iterations=rec.iterations,
-                    residual=rec.residual,
-                    wall_time=0.0 if hit_flags[i] else rec.wall_time,
-                )
+            end = time.perf_counter()
+            metrics, stats = [], []
+            for i in range(len(grid)):
+                rec = records[i]
+                metrics.append(rec.metrics)
+                span = _point_span(i, keys[i], rec, hit_flags[i], end)
+                recorder.adopt(span)
+                stats.append(PointStats.from_span(span))
+            sweep_span.set(
+                workers=n_workers, cache_hits=n_hits, solves=len(misses)
             )
-        return SweepResult(
-            metrics=metrics,
-            stats=stats,
-            wall_time=time.perf_counter() - t_start,
-            workers=n_workers,
-            params=grid,
-        )
+            return SweepResult(
+                metrics=metrics,
+                stats=stats,
+                wall_time=time.perf_counter() - t_start,
+                workers=n_workers,
+                params=grid,
+            )
 
     # ------------------------------------------------------------------
     def _run_serial(self, model_cls, grid, misses, warm) -> "list[SolveRecord]":
-        return _solve_chunk(
+        # in-process: solver/BFS events land in the global recorder directly
+        records, _ = _solve_chunk(
             model_cls, [grid[i] for i in misses], self.method, self.tol, warm
         )
+        return records
 
     def _run_parallel(
         self, model_cls, grid, misses, n_workers, warm
     ) -> "list[SolveRecord] | None":
         """Fan the misses out over a process pool; None on failure (the
-        caller then falls back to the serial path)."""
+        caller then falls back to the serial path).
+
+        When the parent is recording, each worker records into a private
+        recorder and returns its drained buffer with the chunk; the
+        buffers are merged here, inside the open ``sweep`` span, so
+        worker-side solver spans appear as its children in the export.
+        """
+        recorder = obs.recorder()
         chunks = [
             [int(i) for i in c] for c in np.array_split(misses, n_workers) if len(c)
         ]
@@ -337,6 +395,7 @@ class SweepEngine:
                         self.method,
                         self.tol,
                         warm,
+                        recorder.enabled,
                     )
                     for chunk in chunks
                 ]
@@ -344,7 +403,8 @@ class SweepEngine:
         except Exception:  # unpicklable model, no fork support, ...
             return None
         by_index = {}
-        for chunk, recs in zip(chunks, per_chunk):
+        for chunk, (recs, payload) in zip(chunks, per_chunk):
+            recorder.merge(payload)
             for i, rec in zip(chunk, recs):
                 by_index[i] = rec
         return [by_index[i] for i in misses]

@@ -18,6 +18,7 @@ SLOW = [
     "bursty_arrivals.py",
     "simulation_validation.py",
     "tagged_job_percentiles.py",
+    "tracing_a_solve.py",
 ]
 
 
