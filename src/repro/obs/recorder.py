@@ -60,7 +60,7 @@ def _attr_key(attrs: dict) -> tuple:
     return tuple(sorted(attrs.items())) if attrs else ()
 
 
-@dataclass
+@dataclass(slots=True)
 class SpanRecord:
     """One completed timed region."""
 
@@ -76,7 +76,7 @@ class SpanRecord:
         return self.t0 + self.duration
 
 
-@dataclass
+@dataclass(slots=True)
 class IterationTrace:
     """A per-iteration series from one run of an iterative algorithm."""
 
@@ -89,7 +89,7 @@ class IterationTrace:
         return len(self.series)
 
 
-@dataclass
+@dataclass(slots=True)
 class GaugeStats:
     """Aggregate of all samples seen for one gauge key."""
 
@@ -210,14 +210,16 @@ class Recorder:
 
         The span is parented to whatever span is currently open, exactly
         as if it had been entered through :meth:`span`.
+
+        This is the per-event hot path for already-timed regions (the
+        serve dispatcher files one span per job through it), so it stays
+        lean: positional construction, inlined id bump.
         """
+        sid = self._next_id
+        self._next_id = sid + 1
+        stack = self._stack
         rec = SpanRecord(
-            name=name,
-            t0=t0,
-            duration=duration,
-            attrs=attrs,
-            span_id=self._new_id(),
-            parent_id=self._stack[-1] if self._stack else None,
+            name, t0, duration, attrs, sid, stack[-1] if stack else None
         )
         self.spans.append(rec)
         return rec

@@ -1,0 +1,246 @@
+"""Closed-loop timeout control for the online dispatcher.
+
+The operator's problem from the paper, run live: the dispatcher cannot
+see job sizes, so the kill-timeout must be tuned from what *is*
+observable -- arrival instants and the service demands revealed when
+jobs finally complete.  :class:`TimeoutController` runs as a task inside
+a :class:`~repro.serve.dispatcher.DispatchRuntime` and every
+``interval`` model-seconds:
+
+1. **estimates** the arrival rate over a sliding window (count / span)
+   and the service-demand mix from completed-job demands -- either a
+   plain exponential moment match or an H2 fit through
+   :func:`repro.dists.fit.fit_hyperexponential` (degenerate windows --
+   too few samples, all-equal demands, collapsed components -- fail
+   *soft*: the controller falls back to the moment match rather than
+   letting an EM corner case kill the dispatch loop);
+2. **re-optimises** the timeout rate by handing the estimates to
+   :func:`repro.approx.optimise_timeout` over a model factory (default:
+   the Section 4 :class:`~repro.approx.TagsFixedPoint` decomposition,
+   whose closed forms make a re-tune cost microseconds; pass
+   ``model_factory`` to use the exact CTMC instead);
+3. **applies** the new rate with hysteresis: the runtime's timeout
+   sampler is only swapped when the optimum moved by more than
+   ``deadband`` relative -- small estimation noise must not make the
+   operating point flap.
+
+Every decision is kept in :attr:`history` (a
+:class:`ControlDecision` per tick) and mirrored to :mod:`repro.obs`
+(``serve.retune`` counters, a ``serve.timeout`` gauge) when a recorder
+is listening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.approx import TagsFixedPoint, optimise_timeout
+from repro.dists.fit import fit_hyperexponential
+from repro.sim.workload import ErlangTimeout
+
+__all__ = ["ControlDecision", "TimeoutController", "fit_demands_soft"]
+
+
+def fit_demands_soft(demands, k: int = 2):
+    """H2-fit a window of completed demands, degrading gracefully.
+
+    Returns the :class:`~repro.dists.FitResult` or ``None`` when the
+    window cannot support a fit (too few points, non-positive values,
+    numerically degenerate EM) -- the caller then falls back to a moment
+    match.  This is the controller's input path, so *no* window content
+    may raise.
+    """
+    x = np.asarray(demands, dtype=float).ravel()
+    x = x[np.isfinite(x) & (x > 0)]
+    if x.size < max(2, k):
+        return None
+    try:
+        result = fit_hyperexponential(x, k=k)
+    except (ValueError, FloatingPointError, np.linalg.LinAlgError):
+        return None
+    rates = np.asarray(result.dist.rates, dtype=float)
+    if not np.all(np.isfinite(rates)) or rates.min() <= 0:
+        return None
+    if not np.isfinite(result.log_likelihood):
+        return None
+    return result
+
+
+@dataclass
+class ControlDecision:
+    """One controller tick: what was estimated, chosen and applied."""
+
+    time: float
+    lam_hat: float | None
+    mu_hat: float | None
+    scv_hat: float | None
+    t_opt: float | None
+    t_current: float
+    applied: bool
+    reason: str  # "applied" / "deadband" / "insufficient-data"
+
+
+@dataclass
+class TimeoutController:
+    """Sliding-window estimate -> re-optimise -> apply with hysteresis.
+
+    Parameters
+    ----------
+    interval, window :
+        Tick period and estimation-window length (model-seconds).
+    min_samples :
+        Minimum arrivals *and* completions in the window before acting.
+    deadband :
+        Relative move of the optimal rate required to touch the system.
+    metric :
+        Objective handed to :func:`~repro.approx.optimise_timeout`.
+    n :
+        Erlang phase count of the applied timeout (matches the paper's
+        Markovian timeout; the sampler installed is ``ErlangTimeout(n,
+        t)``, overridable via ``make_sampler``).
+    fit :
+        ``"exponential"`` (moment match) or ``"h2"`` (EM fit with soft
+        fallback to the moment match).
+    model_factory :
+        ``(lam, mu, t) -> model with .metrics()``; default builds
+        :class:`TagsFixedPoint` with this controller's ``n`` and the
+        runtime's capacities.
+    """
+
+    interval: float = 100.0
+    window: float = 500.0
+    min_samples: int = 20
+    deadband: float = 0.1
+    metric: str = "mean_jobs"
+    n: int = 6
+    t_min: float = 0.5
+    t_max: float = 500.0
+    grid_points: int = 40
+    fit: str = "exponential"
+    make_sampler: "callable | None" = None
+    model_factory: "callable | None" = None
+    node: int = 0
+    history: "list[ControlDecision]" = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0 or self.window <= 0:
+            raise ValueError("interval and window must be positive")
+        if self.fit not in ("exponential", "h2"):
+            raise ValueError("fit must be 'exponential' or 'h2'")
+        if not (0 <= self.deadband):
+            raise ValueError("deadband must be non-negative")
+        self._runtime = None
+        self._t0 = 0.0
+
+    # -- runtime protocol ----------------------------------------------
+    def bind(self, runtime) -> None:
+        self._runtime = runtime
+        self._t0 = runtime.clock.now()
+
+    async def run(self) -> None:
+        if self._runtime is None:
+            raise RuntimeError("bind() the controller to a runtime first")
+        while True:
+            # daemon: control ticks matter only while work is in flight;
+            # they must not keep a drained virtual-clock run spinning
+            await self._runtime.clock.sleep(self.interval, daemon=True)
+            self.tick()
+
+    # -- one control step ----------------------------------------------
+    def current_rate(self) -> float:
+        sampler = self._runtime.current_timeout(self.node)
+        if sampler is None:
+            raise ValueError(f"node {self.node} has no timeout to control")
+        if hasattr(sampler, "t"):
+            return float(sampler.t)
+        # deterministic or other samplers: rate from the mean duration
+        return self.n / float(sampler.mean)
+
+    def _estimate(self, now: float):
+        """(lam_hat, mu_hat, scv_hat) over the trailing window, or None."""
+        rt = self._runtime
+        cutoff = max(self._t0, now - self.window)
+        while rt.window_arrivals and rt.window_arrivals[0] < cutoff:
+            rt.window_arrivals.popleft()
+        while rt.window_completions and rt.window_completions[0][0] < cutoff:
+            rt.window_completions.popleft()
+        span = now - cutoff
+        n_arr = len(rt.window_arrivals)
+        n_done = len(rt.window_completions)
+        if span <= 0 or n_arr < self.min_samples or n_done < self.min_samples:
+            return None
+        lam_hat = n_arr / span
+        demands = np.array([d for _, d in rt.window_completions])
+        mean = float(demands.mean())
+        scv = float(demands.var() / mean**2) if mean > 0 else None
+        if self.fit == "h2":
+            fitted = fit_demands_soft(demands)
+            if fitted is not None:
+                m1 = float(fitted.dist.moment(1))
+                if np.isfinite(m1) and m1 > 0:
+                    mean = m1
+                    m2 = float(fitted.dist.moment(2))
+                    scv = m2 / m1**2 - 1.0
+        if mean <= 0:
+            return None
+        return lam_hat, 1.0 / mean, scv
+
+    def tick(self) -> ControlDecision:
+        """Estimate, optimise and (maybe) apply; returns the decision."""
+        rt = self._runtime
+        now = rt.clock.now()
+        t_cur = self.current_rate()
+        rec = obs.recorder()
+        estimate = self._estimate(now)
+        if estimate is None:
+            decision = ControlDecision(
+                now, None, None, None, None, t_cur, False, "insufficient-data"
+            )
+            self.history.append(decision)
+            if rec.enabled:
+                rec.add("serve.retune", skipped=True)
+            return decision
+        lam_hat, mu_hat, scv_hat = estimate
+        if self.model_factory is not None:
+            factory = lambda t: self.model_factory(lam_hat, mu_hat, t)
+        else:
+            K1, K2 = rt.capacities[0], rt.capacities[-1]
+            factory = lambda t: TagsFixedPoint(
+                lam=lam_hat, mu=mu_hat, t=t, n=self.n, K1=K1, K2=K2
+            )
+        opt = optimise_timeout(
+            factory,
+            self.metric,
+            t_min=self.t_min,
+            t_max=self.t_max,
+            grid_points=self.grid_points,
+        )
+        move = abs(opt.t_opt - t_cur) / t_cur
+        apply = move > self.deadband
+        if apply:
+            sampler = (
+                self.make_sampler(opt.t_opt)
+                if self.make_sampler is not None
+                else ErlangTimeout(self.n, opt.t_opt)
+            )
+            rt.set_timeout(self.node, sampler)
+        decision = ControlDecision(
+            now,
+            lam_hat,
+            mu_hat,
+            scv_hat,
+            float(opt.t_opt),
+            t_cur,
+            apply,
+            "applied" if apply else "deadband",
+        )
+        self.history.append(decision)
+        if rec.enabled:
+            rec.add("serve.retune", applied=apply)
+            rec.gauge("serve.timeout", opt.t_opt if apply else t_cur)
+            rec.gauge("serve.lambda_hat", lam_hat)
+            rec.gauge("serve.mu_hat", mu_hat)
+        return decision

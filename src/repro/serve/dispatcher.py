@@ -1,0 +1,402 @@
+"""The online dispatcher runtime: policies from ``sim`` run as services.
+
+:class:`DispatchRuntime` executes an allocation policy
+(:class:`~repro.sim.policies.TagsPolicy`, random, round-robin, JSQ --
+anything answering ``route``/``timeout``/``forward``) over bounded FCFS
+nodes as a set of cooperating asyncio tasks:
+
+* one **load-generator task** pulls ``(gap, demand)`` pairs from a
+  :mod:`~repro.serve.loadgen` source, sleeps the gap on the runtime's
+  :class:`~repro.serve.clock.Clock`, and admits the arrival (routing via
+  the policy; **drop-on-full** at the routed node);
+* one **server task per node** serves its queue head FCFS, racing the
+  policy's timeout sampler against the job's remaining wall time exactly
+  as ``sim.runner`` does: on a timeout the job is killed and forwarded
+  to ``policy.forward(node)`` (**drop-after-timeout** when that node is
+  full or absent), with restart-from-scratch or resume semantics chosen
+  by the policy's ``resume`` flag;
+* optionally a **controller task** (:mod:`~repro.serve.controller`)
+  re-tunes the timeout from live observations.
+
+Under a :class:`~repro.serve.clock.VirtualClock` the runtime is a
+deterministic discrete-event program: ``tests/serve/test_equivalence.py``
+pins its per-job outcomes bit-for-bit to ``sim.runner.Simulation`` on a
+shared trace.  Under a :class:`~repro.serve.clock.WallClock` the same
+code serves in real time.
+
+Instrumentation goes through :mod:`repro.obs` and is gated on
+``recorder().enabled`` everywhere, so a disabled recorder costs one
+attribute check per event (the CI ``serve`` job benches off vs. on):
+per-job ``serve.job`` spans (virtual timestamps), queue-depth gauges,
+and end-of-run counters mirroring the simulator's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.serve.clock import Clock, VirtualClock
+from repro.sim.runner import SimulationResult
+from repro.sim.stats import TimeAverage
+
+__all__ = ["JobRecord", "DispatchResult", "DispatchRuntime"]
+
+
+@dataclass
+class JobRecord:
+    """One job's life in the runtime (also the queue entry)."""
+
+    job_id: int
+    arrival_time: float
+    demand: float
+    remaining: float | None = None
+    kills: int = 0
+    outcome: str | None = None  # completed / dropped_arrival / dropped_forward
+    node: int | None = None
+    finish_time: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.remaining is None:
+            self.remaining = self.demand
+
+    def outcome_tuple(self) -> tuple:
+        """``(outcome, node, kills)`` -- the equivalence-test currency."""
+        return (self.outcome, self.node, self.kills)
+
+
+@dataclass
+class DispatchResult(SimulationResult):
+    """A :class:`~repro.sim.runner.SimulationResult` plus runtime extras.
+
+    ``jobs`` holds :class:`JobRecord` objects (richer than the
+    simulator's tuples); :meth:`job_outcomes` normalises both to the
+    same ``job_id -> (outcome, node, kills)`` mapping.
+    """
+
+    killed: int = 0
+    forwarded: int = 0
+
+    def job_outcomes(self) -> dict:
+        """``job_id -> (outcome, node, kills)`` for finished jobs."""
+        if self.jobs is None:
+            raise ValueError("run with record_jobs=True to keep job logs")
+        return {
+            j.job_id: j.outcome_tuple()
+            for j in self.jobs
+            if j.outcome is not None
+        }
+
+
+class DispatchRuntime:
+    """Online dispatcher over bounded per-node queues.
+
+    Parameters mirror :class:`~repro.sim.runner.Simulation` where they
+    overlap (``policy``, ``capacities``, ``speeds``, ``seed``/``rng``);
+    the workload comes from a load generator instead of separate
+    arrival/demand objects, and ``clock`` selects virtual or wall time.
+    """
+
+    def __init__(
+        self,
+        loadgen,
+        policy,
+        capacities,
+        *,
+        clock: "Clock | None" = None,
+        speeds=None,
+        seed: int = 0,
+        rng: "np.random.Generator | None" = None,
+        controller=None,
+        record_jobs: bool = False,
+        gauge_interval: float = 10.0,
+    ) -> None:
+        self.loadgen = loadgen
+        self.policy = policy
+        self.capacities = tuple(int(k) for k in capacities)
+        if len(self.capacities) != policy.n_nodes():
+            raise ValueError(
+                f"policy expects {policy.n_nodes()} nodes, got "
+                f"{len(self.capacities)} capacities"
+            )
+        if min(self.capacities) < 1:
+            raise ValueError("capacities must be >= 1")
+        if speeds is None:
+            self.speeds = (1.0,) * len(self.capacities)
+        else:
+            self.speeds = tuple(float(s) for s in speeds)
+            if len(self.speeds) != len(self.capacities):
+                raise ValueError("need one speed per node")
+            if min(self.speeds) <= 0:
+                raise ValueError("speeds must be positive")
+        self.clock = clock if clock is not None else VirtualClock()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.controller = controller
+        self.record_jobs = record_jobs
+        if gauge_interval <= 0:
+            raise ValueError("gauge_interval must be positive")
+        self.gauge_interval = float(gauge_interval)
+        self._rec = obs.recorder()  # re-resolved at each arun()
+
+        n = len(self.capacities)
+        self.queues: "list[deque]" = [deque() for _ in range(n)]
+        self._wake = [None] * n  # asyncio.Events, created in arun
+        self.q_avg = [TimeAverage() for _ in range(n)]
+        self.offered = 0
+        self.completed = 0
+        self.killed = 0
+        self.forwarded = 0
+        self.dropped_arrival = 0
+        self.dropped_forward = 0
+        self.responses: list = []
+        self.slowdowns: list = []
+        self.demands: list = []
+        self.jobs: "list[JobRecord]" = []
+        self._next_id = 0
+        self._scheduled: list = []  # (delay, fn) buffered before arun
+        self._running = False
+        # sliding-window observations for the controller (pruned there)
+        self.window_arrivals: deque = deque()
+        self.window_completions: deque = deque()  # (time, demand)
+
+    # -- live control ---------------------------------------------------
+    def set_timeout(self, node: int, sampler) -> None:
+        """Swap the policy's timeout sampler for ``node``.
+
+        Takes effect at the next service start on that node (jobs whose
+        race is already scheduled keep the old draw), which is exactly
+        the semantics an operator changing a kill-timeout gets.
+        """
+        timeouts = getattr(self.policy, "timeouts", None)
+        if timeouts is None or node >= len(timeouts):
+            raise ValueError(f"policy has no timeout at node {node}")
+        new = list(timeouts)
+        new[node] = sampler
+        self.policy.timeouts = tuple(new)
+
+    def current_timeout(self, node: int = 0):
+        return self.policy.timeout(node)
+
+    def schedule(self, delay: float, fn) -> None:
+        """Run ``fn()`` at model time ``now + delay`` (e.g. a load shift).
+
+        Callable before the run starts (buffered) or from inside a task
+        while the runtime is live.
+        """
+        if self._running:
+            asyncio.get_running_loop().create_task(self._fire_later(delay, fn))
+        else:
+            self._scheduled.append((delay, fn))
+
+    async def _fire_later(self, delay: float, fn) -> None:
+        await self.clock.sleep(delay)
+        fn()
+
+    def queue_lengths(self) -> list:
+        return [len(q) for q in self.queues]
+
+    # -- event handling -------------------------------------------------
+    def _note_queue(self, now: float, node: int) -> None:
+        self.q_avg[node].update(now, len(self.queues[node]))
+
+    async def _sample_depths(self, rec, interval: float) -> None:
+        """Periodic ``serve.queue_depth`` gauges.
+
+        Depth is sampled on a timer rather than at every queue event:
+        per-event gauges would dominate the dispatch cost (the CI gate
+        holds enabled recording to <= 10%), and the exact time-averaged
+        depths are kept in ``q_avg`` regardless.
+        """
+        while True:
+            await self.clock.sleep(interval, daemon=True)
+            for i, q in enumerate(self.queues):
+                rec.gauge("serve.queue_depth", len(q), node=i)
+
+    def _finish(self, job: JobRecord, now: float, outcome: str, node: int) -> None:
+        job.outcome = outcome
+        job.node = node
+        job.finish_time = now
+        rec = self._rec
+        if rec.enabled:
+            rec.record_span(
+                "serve.job",
+                job.arrival_time,
+                now - job.arrival_time,
+                job=job.job_id,
+                outcome=outcome,
+                node=node,
+                kills=job.kills,
+            )
+
+    def _admit(self, now: float, demand: float) -> None:
+        self.offered += 1
+        job = JobRecord(self._next_id, now, demand)
+        self._next_id += 1
+        if self.record_jobs:
+            self.jobs.append(job)
+        if self.controller is not None:
+            self.window_arrivals.append(now)
+        target = self.policy.route(self.queue_lengths(), self.rng)
+        if len(self.queues[target]) >= self.capacities[target]:
+            self.dropped_arrival += 1
+            self._finish(job, now, "dropped_arrival", target)
+            return
+        self.queues[target].append(job)
+        self._note_queue(now, target)
+        self._wake[target].set()
+
+    async def _generate(self) -> None:
+        while True:
+            nxt = self.loadgen.next_job(self.rng)
+            if nxt is None:
+                return  # finite trace exhausted
+            gap, demand = nxt
+            await self.clock.sleep(gap)
+            self._admit(self.clock.now(), demand)
+
+    async def _serve_node(self, node: int) -> None:
+        queue = self.queues[node]
+        wake = self._wake[node]
+        resume = getattr(self.policy, "resume", False)
+        while True:
+            if not queue:
+                wake.clear()
+                await wake.wait()
+                continue
+            job = queue[0]
+            work = job.remaining if resume else job.demand
+            wall = work / self.speeds[node]
+            sampler = self.policy.timeout(node)
+            tau = None if sampler is None else sampler.sample(self.rng)
+            if tau is None or wall <= tau:
+                await self.clock.sleep(wall)
+                now = self.clock.now()
+                queue.popleft()
+                self._note_queue(now, node)
+                self.completed += 1
+                self.responses.append(now - job.arrival_time)
+                self.slowdowns.append((now - job.arrival_time) / job.demand)
+                self.demands.append(job.demand)
+                if self.controller is not None:
+                    self.window_completions.append((now, job.demand))
+                self._finish(job, now, "completed", node)
+            else:
+                if resume:
+                    job.remaining = work - tau * self.speeds[node]
+                await self.clock.sleep(tau)
+                now = self.clock.now()
+                queue.popleft()
+                self._note_queue(now, node)
+                self.killed += 1
+                job.kills += 1
+                target = self.policy.forward(node)
+                if (
+                    target is None
+                    or len(self.queues[target]) >= self.capacities[target]
+                ):
+                    self.dropped_forward += 1
+                    self._finish(job, now, "dropped_forward", node)
+                else:
+                    self.forwarded += 1
+                    self.queues[target].append(job)
+                    self._note_queue(now, target)
+                    self._wake[target].set()
+
+    def _reset_measurements(self, now: float) -> None:
+        """Warm-up boundary: zero counters, keep jobs in flight."""
+        self.offered = self.completed = 0
+        self.killed = self.forwarded = 0
+        self.dropped_arrival = self.dropped_forward = 0
+        self.responses.clear()
+        self.slowdowns.clear()
+        self.demands.clear()
+        for node, avg in enumerate(self.q_avg):
+            avg.reset(now, len(self.queues[node]))
+
+    # -- running --------------------------------------------------------
+    async def arun(self, t_end: float, warmup: float = 0.0) -> DispatchResult:
+        """Run until model time ``t_end``; measure after ``warmup``."""
+        if t_end <= warmup:
+            raise ValueError("t_end must exceed warmup")
+        if self._running:
+            raise RuntimeError("runtime is already running")
+        self._running = True
+        # one recorder lookup per run: every per-job site reads the
+        # cached reference (swapping recorders mid-run is unsupported)
+        rec = self._rec = obs.recorder()
+        t_wall0 = time.perf_counter() if rec.enabled else 0.0
+        n = len(self.capacities)
+        self._wake = [asyncio.Event() for _ in range(n)]
+        tasks = [asyncio.ensure_future(self._generate())]
+        if rec.enabled:
+            tasks.append(
+                asyncio.ensure_future(
+                    self._sample_depths(rec, self.gauge_interval)
+                )
+            )
+        tasks += [
+            asyncio.ensure_future(self._serve_node(i)) for i in range(n)
+        ]
+        if warmup > 0:
+            tasks.append(
+                asyncio.ensure_future(
+                    self._fire_later(
+                        warmup, lambda: self._reset_measurements(warmup)
+                    )
+                )
+            )
+        if self.controller is not None:
+            self.controller.bind(self)
+            tasks.append(asyncio.ensure_future(self.controller.run()))
+        for delay, fn in self._scheduled:
+            tasks.append(asyncio.ensure_future(self._fire_later(delay, fn)))
+        self._scheduled = []
+        try:
+            await self.clock.run_until(t_end)
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            self._running = False
+
+        duration = max(t_end - warmup, 1e-12)
+        if rec.enabled:
+            rec.record_span(
+                "serve.run",
+                t_wall0,
+                time.perf_counter() - t_wall0,
+                t_end=t_end,
+                warmup=warmup,
+                nodes=n,
+            )
+            rec.add("serve.offered", self.offered)
+            rec.add("serve.completed", self.completed)
+            rec.add("serve.killed", self.killed)
+            rec.add("serve.forwarded", self.forwarded)
+            rec.add("serve.dropped.arrival", self.dropped_arrival)
+            rec.add("serve.dropped.forward", self.dropped_forward)
+            for i, avg in enumerate(self.q_avg):
+                rec.gauge("serve.mean_queue_length", avg.mean(t_end), node=i)
+        return DispatchResult(
+            duration=duration,
+            offered=self.offered,
+            completed=self.completed,
+            dropped_arrival=self.dropped_arrival,
+            dropped_forward=self.dropped_forward,
+            mean_queue_lengths=tuple(a.mean(t_end) for a in self.q_avg),
+            response_times=np.asarray(self.responses),
+            slowdowns=np.asarray(self.slowdowns),
+            demands=np.asarray(self.demands),
+            killed=self.killed,
+            forwarded=self.forwarded,
+            jobs=self.jobs if self.record_jobs else None,
+        )
+
+    def run(self, t_end: float, warmup: float = 0.0) -> DispatchResult:
+        """Synchronous convenience wrapper around :meth:`arun`."""
+        return asyncio.run(self.arun(t_end, warmup))

@@ -97,9 +97,29 @@ class RoundRobinPolicy:
 
 @dataclass
 class JSQPolicy:
-    """Join the shortest queue; ties broken uniformly (Appendix B)."""
+    """Join the shortest queue (Appendix B).
+
+    Tie-breaking is an explicit, seeded choice rather than an accident of
+    the argmin implementation:
+
+    * ``tie_break="random"`` (default, matching the symmetric CTMC
+      model): a tied shortest node is drawn uniformly from the
+      simulation's generator, so runs are reproducible per seed;
+    * ``tie_break="lowest"``: deterministically the lowest-indexed tied
+      node -- the behaviour a plain ``argmin`` silently gives, now
+      opt-in.  Under low load this biases work toward node 0 (every
+      empty-system arrival lands there), which is measurable on per-node
+      queue lengths; tests pin both behaviours.
+    """
 
     nodes: int = 2
+    tie_break: str = "random"
+
+    def __post_init__(self) -> None:
+        if self.tie_break not in ("random", "lowest"):
+            raise ValueError(
+                f"tie_break must be 'random' or 'lowest', got {self.tie_break!r}"
+            )
 
     def n_nodes(self) -> int:
         return self.nodes
@@ -107,7 +127,9 @@ class JSQPolicy:
     def route(self, queue_lengths, rng) -> int:
         q = np.asarray(queue_lengths[: self.nodes])
         shortest = np.flatnonzero(q == q.min())
-        return int(shortest[0] if len(shortest) == 1 else rng.choice(shortest))
+        if len(shortest) == 1 or self.tie_break == "lowest":
+            return int(shortest[0])
+        return int(rng.choice(shortest))
 
     def timeout(self, node: int):
         return None

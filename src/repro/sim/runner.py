@@ -47,6 +47,8 @@ class _Job:
     arrival_time: float
     demand: float
     remaining: float | None = None
+    job_id: int = -1
+    kills: int = 0
 
     def __post_init__(self) -> None:
         if self.remaining is None:
@@ -61,6 +63,11 @@ class SimulationResult:
     per completed job), enabling per-size-class analysis -- TAGS's whole
     purpose is to treat short and long jobs differently, and
     Harchol-Balter's evaluation revolves around slowdown by job size.
+
+    ``jobs`` (only with ``record_jobs=True``, never pruned at warm-up) is
+    the per-job outcome log ``[(job_id, outcome, node, kills), ...]`` in
+    event order, with ids assigned in arrival order -- the currency the
+    ``repro.serve`` equivalence tests compare against the online runtime.
     """
 
     duration: float
@@ -72,6 +79,13 @@ class SimulationResult:
     response_times: np.ndarray
     slowdowns: np.ndarray
     demands: np.ndarray = field(default_factory=lambda: np.empty(0))
+    jobs: "list | None" = None
+
+    def job_outcomes(self) -> dict:
+        """``job_id -> (outcome, node, kills)`` for finished jobs."""
+        if self.jobs is None:
+            raise ValueError("run with record_jobs=True to keep job logs")
+        return {jid: (outcome, node, kills) for jid, outcome, node, kills in self.jobs}
 
     @property
     def throughput(self) -> float:
@@ -154,6 +168,16 @@ class Simulation:
         Routing/timeout policy.
     capacities :
         Per-node capacity (queue + server).
+    seed, rng :
+        Either a seed for a private ``numpy.random.Generator`` or an
+        existing generator to draw from (``rng`` wins when both are
+        given).  Passing ``rng`` lets callers -- the ``repro.serve``
+        controller and dispatcher in particular -- share or spawn
+        reproducible streams across components; with ``seed`` alone the
+        draw sequence is unchanged from earlier releases.
+    record_jobs :
+        Keep a per-job outcome log on the result (see
+        :attr:`SimulationResult.jobs`).
     """
 
     def __init__(
@@ -164,7 +188,9 @@ class Simulation:
         capacities,
         *,
         seed: int = 0,
+        rng: "np.random.Generator | None" = None,
         speeds=None,
+        record_jobs: bool = False,
     ) -> None:
         self.arrivals = arrivals
         self.demand = demand
@@ -185,7 +211,8 @@ class Simulation:
                 raise ValueError("need one speed per node")
             if min(self.speeds) <= 0:
                 raise ValueError("speeds must be positive")
-        self.rng = np.random.default_rng(seed)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.record_jobs = record_jobs
 
     # ------------------------------------------------------------------
     def run(self, t_end: float, warmup: float = 0.0) -> SimulationResult:
@@ -206,6 +233,8 @@ class Simulation:
         slowdowns: list = []
         demands: list = []
         warm = False
+        next_id = 0  # job ids by arrival order; never reset at warm-up
+        job_log: "list | None" = [] if self.record_jobs else None
 
         def push(time: float, kind: str, node: int, payload=None):
             nonlocal seq
@@ -248,8 +277,11 @@ class Simulation:
                 break
             if not warm and now >= warmup:
                 warm = True
+                # queue lengths are unchanged on (last event, now) ⊇
+                # (warmup, now), so anchoring the integrators at exactly
+                # t=warmup makes the measurement window [warmup, t_end]
                 for node_i in range(n_nodes):
-                    q_avg[node_i].reset(now, len(queues[node_i]))
+                    q_avg[node_i].reset(warmup, len(queues[node_i]))
                 offered = completed = dropped_arrival = dropped_forward = 0
                 killed = forwarded = 0
                 responses.clear()
@@ -259,12 +291,19 @@ class Simulation:
             if kind == "arrival":
                 push(now + self.arrivals.next_interarrival(rng), "arrival", -1)
                 offered += 1
-                job = _Job(now, float(self.demand.sample(1, rng)[0]))
+                job = _Job(
+                    now, float(self.demand.sample(1, rng)[0]), job_id=next_id
+                )
+                next_id += 1
                 target = self.policy.route(
                     [len(q) for q in queues], rng
                 )
                 if len(queues[target]) >= self.capacities[target]:
                     dropped_arrival += 1
+                    if job_log is not None:
+                        job_log.append(
+                            (job.job_id, "dropped_arrival", target, 0)
+                        )
                     continue
                 queues[target].append(job)
                 note_queue(now, target)
@@ -278,6 +317,8 @@ class Simulation:
                 responses.append(now - job.arrival_time)
                 slowdowns.append((now - job.arrival_time) / job.demand)
                 demands.append(job.demand)
+                if job_log is not None:
+                    job_log.append((job.job_id, "completed", node, job.kills))
                 if queues[node]:
                     start_service(now, node)
 
@@ -285,9 +326,14 @@ class Simulation:
                 job = queues[node].popleft()
                 note_queue(now, node)
                 killed += 1
+                job.kills += 1
                 target = self.policy.forward(node)
                 if target is None or len(queues[target]) >= self.capacities[target]:
                     dropped_forward += 1
+                    if job_log is not None:
+                        job_log.append(
+                            (job.job_id, "dropped_forward", node, job.kills)
+                        )
                 else:
                     forwarded += 1
                     queues[target].append(job)
@@ -327,6 +373,7 @@ class Simulation:
             response_times=np.asarray(responses),
             slowdowns=np.asarray(slowdowns),
             demands=np.asarray(demands),
+            jobs=job_log,
         )
 
 

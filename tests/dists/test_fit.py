@@ -55,6 +55,53 @@ class TestHyperExpFit:
             fit_hyperexponential([1.0, 2.0], k=0)
 
 
+class TestDegenerateWindows:
+    """Small / pathological samples, as produced by the serve
+    controller's sliding estimation window: the EM must either fit or
+    raise ``ValueError`` -- never emit NaN/zero rates.  (The controller
+    itself goes through :func:`repro.serve.fit_demands_soft`, which maps
+    the raises to a soft ``None``.)"""
+
+    def assert_sane(self, res, data):
+        rates = np.asarray(res.dist.rates)
+        assert np.all(np.isfinite(rates)) and rates.min() > 0
+        assert np.isfinite(res.log_likelihood)
+        assert res.dist.mean == pytest.approx(np.mean(data), rel=1e-6)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 9])
+    def test_tiny_windows_fit_finite(self, n):
+        """n < 10 points: far too few to identify two phases, but the
+        moment-matched mean must still come back finite."""
+        rng = np.random.default_rng(n)
+        data = rng.exponential(0.1, n)
+        self.assert_sane(fit_hyperexponential(data, k=2), data)
+
+    def test_all_equal_window(self):
+        """Zero-variance data (deterministic trace replay): the fit
+        collapses to identical rates 1/mean in both components."""
+        data = [2.0] * 50
+        res = fit_hyperexponential(data, k=2)
+        self.assert_sane(res, data)
+        assert res.dist.rates[0] == pytest.approx(0.5, rel=1e-6)
+        assert res.dist.rates[1] == pytest.approx(0.5, rel=1e-6)
+        assert res.dist.scv == pytest.approx(1.0, rel=1e-6)
+
+    def test_single_phase_collapse(self):
+        """Exponential data under k=2: the components merge onto the
+        exponential MLE rather than one rate running away."""
+        rng = np.random.default_rng(0)
+        data = rng.exponential(0.1, 200)
+        res = fit_hyperexponential(data, k=2)
+        self.assert_sane(res, data)
+        mle = 1.0 / data.mean()
+        assert res.dist.rates[0] == pytest.approx(mle, rel=0.05)
+        assert res.dist.rates[1] == pytest.approx(mle, rel=0.05)
+
+    def test_single_point_still_rejected(self):
+        with pytest.raises(ValueError):
+            fit_hyperexponential([1.0], k=2)
+
+
 class TestErlangMixtureFit:
     def test_recovers_pure_erlang(self):
         true = Erlang(4, 8.0)

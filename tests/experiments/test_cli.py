@@ -21,6 +21,14 @@ class TestCli:
         out = capsys.readouterr().out
         assert "6.18" in out
 
+    def test_serve(self, capsys):
+        assert main(["serve"]) == 0
+        out = capsys.readouterr().out
+        assert "online TAGS dispatcher" in out
+        assert "applied" in out  # the controller actually re-tuned
+        assert "final timeout rate" in out
+        assert "=> agreement" in out
+
     def test_unknown_id(self, capsys):
         assert main(["zzz"]) == 2
         assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,97 @@
+"""Load generators: traces, replay adapters, live sources."""
+
+import numpy as np
+import pytest
+
+from repro.dists import Exponential
+from repro.serve import (
+    MMPPLoad,
+    PoissonLoad,
+    Trace,
+    TraceArrivals,
+    TraceDemands,
+    TraceLoad,
+)
+from repro.sim import MMPPArrivals, PoissonArrivals
+
+
+class TestTrace:
+    def test_synthesise_shapes(self):
+        trace = Trace.synthesise(PoissonArrivals(5.0), Exponential(10.0), 100, seed=1)
+        assert len(trace) == 100
+        assert trace.gaps.shape == trace.demands.shape == (100,)
+        assert trace.arrival_times[-1] == pytest.approx(trace.gaps.sum())
+
+    def test_synthesise_is_seeded(self):
+        a = Trace.synthesise(PoissonArrivals(5.0), Exponential(10.0), 50, seed=3)
+        b = Trace.synthesise(PoissonArrivals(5.0), Exponential(10.0), 50, seed=3)
+        assert np.array_equal(a.gaps, b.gaps)
+        assert np.array_equal(a.demands, b.demands)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="one demand per gap"):
+            Trace([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError, match="demands"):
+            Trace([1.0], [0.0])
+        with pytest.raises(ValueError, match="at least one job"):
+            Trace.synthesise(PoissonArrivals(5.0), Exponential(10.0), 0)
+
+
+class TestTraceLoad:
+    def test_replay_and_exhaustion(self):
+        trace = Trace([0.5, 1.0, 0.25], [1.0, 2.0, 3.0])
+        load = TraceLoad(trace)
+        rng = np.random.default_rng(0)
+        jobs = [load.next_job(rng) for _ in range(4)]
+        assert jobs[:3] == [(0.5, 1.0), (1.0, 2.0), (0.25, 3.0)]
+        assert jobs[3] is None
+        assert load.remaining == 0
+
+
+class TestSimAdapters:
+    def test_arrivals_then_inf(self):
+        trace = Trace([0.5, 1.5], [1.0, 1.0])
+        arr = TraceArrivals(trace)
+        rng = np.random.default_rng(0)
+        assert arr.next_interarrival(rng) == 0.5
+        assert arr.next_interarrival(rng) == 1.5
+        assert arr.next_interarrival(rng) == float("inf")
+
+    def test_demands_one_at_a_time(self):
+        trace = Trace([0.5, 1.5], [1.0, 2.0])
+        dem = TraceDemands(trace)
+        rng = np.random.default_rng(0)
+        assert dem.sample(1, rng)[0] == 1.0
+        assert dem.sample(1, rng)[0] == 2.0
+        with pytest.raises(IndexError):
+            dem.sample(1, rng)
+        with pytest.raises(ValueError, match="one at a time"):
+            TraceDemands(trace).sample(2, rng)
+
+
+class TestLiveSources:
+    def test_poisson_mean_gap(self):
+        load = PoissonLoad(4.0, Exponential(10.0))
+        rng = np.random.default_rng(0)
+        gaps = [load.next_job(rng)[0] for _ in range(4000)]
+        assert np.mean(gaps) == pytest.approx(0.25, rel=0.1)
+
+    def test_poisson_rate_is_live(self):
+        """The controller/scenario path: mutating ``rate`` shifts the
+        load immediately."""
+        load = PoissonLoad(4.0, Exponential(10.0))
+        rng = np.random.default_rng(0)
+        load.rate = 40.0
+        gaps = [load.next_job(rng)[0] for _ in range(4000)]
+        assert np.mean(gaps) == pytest.approx(0.025, rel=0.1)
+
+    def test_poisson_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonLoad(0.0, Exponential(10.0))
+
+    def test_mmpp_wraps_arrival_process(self):
+        mmpp = MMPPArrivals(rate0=10.0, rate1=1.0, switch01=0.5, switch10=0.5)
+        load = MMPPLoad(mmpp, Exponential(10.0))
+        rng = np.random.default_rng(0)
+        gaps = [load.next_job(rng)[0] for _ in range(8000)]
+        assert 1.0 / np.mean(gaps) == pytest.approx(mmpp.mean_rate, rel=0.1)

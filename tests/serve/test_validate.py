@@ -1,0 +1,98 @@
+"""Live metrics vs CTMC steady state: the paper's models predict what
+the runtime measures."""
+
+import pytest
+
+from repro.dists import Exponential
+from repro.models import TagsExponential
+from repro.serve import (
+    DispatchRuntime,
+    PoissonLoad,
+    validate_against_model,
+)
+from repro.sim import ErlangTimeout, TagsPolicy
+
+LAM, MU, N = 5.0, 10.0, 6
+
+
+def run_live(t, seed=0, t_end=22_000.0, warmup=2000.0):
+    rt = DispatchRuntime(
+        PoissonLoad(LAM, Exponential(MU)),
+        TagsPolicy(timeouts=(ErlangTimeout(N, t),)),
+        (10, 10),
+        seed=seed,
+    )
+    return rt.run(t_end, warmup=warmup)
+
+
+def model(t):
+    return TagsExponential(lam=LAM, mu=MU, t=t, n=N, K1=10, K2=10)
+
+
+class TestAgreement:
+    def test_all_rows_ok_in_benign_regime(self):
+        """Long timeout (rate 5 -> mean 1.2 = 12 mean services): kills
+        are rare, the chain is near-exact, every row lands."""
+        report = validate_against_model(run_live(5.0), model(5.0))
+        assert report.ok, report.format()
+        names = {c.name for c in report.checks}
+        assert names == {
+            "mean_response_time",
+            "mean_jobs",
+            "mean_jobs_node1",
+            "mean_jobs_node2",
+            "throughput",
+            "loss_probability",
+        }
+        # the CI-backed rows actually carry a CI
+        assert report["mean_response_time"].ci_half is not None
+        assert report["mean_jobs"].ci_half is not None
+
+    def test_node2_bias_documented_and_gated_by_node_tol(self):
+        """At the paper's operating point (t=51) node 2 carries real
+        load and the CTMC's resampled-Erlang repeat period overestimates
+        its population by 10-20%.  The default band flags exactly that
+        row; widening node_tol (the documented escape hatch) accepts it
+        while the raw error stays visible in the report."""
+        res = run_live(51.0)
+        strict = validate_against_model(res, model(51.0))
+        assert not strict.ok
+        bad = [c.name for c in strict.checks if not c.ok]
+        assert bad == ["mean_jobs_node2"]
+        node2 = strict["mean_jobs_node2"]
+        assert node2.live < node2.predicted  # CTMC over-predicts
+        assert 0.05 < node2.rel_error < 0.25
+
+        widened = validate_against_model(res, model(51.0), node_tol=0.25)
+        assert widened.ok
+        # raw error is unchanged -- the band moved, not the measurement
+        assert widened["mean_jobs_node2"].rel_error == node2.rel_error
+
+    def test_wrong_model_is_flagged(self):
+        """Validate against a chain at double the arrival rate: the
+        population and response-time rows must blow past any CI."""
+        res = run_live(5.0)
+        wrong = TagsExponential(lam=2 * LAM, mu=MU, t=5.0, n=N, K1=10, K2=10)
+        report = validate_against_model(res, wrong)
+        assert not report.ok
+        assert not report["mean_jobs"].ok
+        assert not report["throughput"].ok
+
+
+class TestReportObject:
+    def test_format_and_lookup(self):
+        report = validate_against_model(
+            run_live(5.0, t_end=4000.0, warmup=500.0), model(5.0)
+        )
+        text = report.format()
+        assert "mean_jobs_node2" in text
+        assert ("agreement" in text) or ("DISAGREEMENT" in text)
+        with pytest.raises(KeyError):
+            report["no_such_metric"]
+
+    def test_short_stream_drops_the_ci(self):
+        """Fewer than 2 * n_batches response samples: the CI is dropped
+        and the rel_tol band applies instead of crashing."""
+        res = run_live(5.0, t_end=30.0, warmup=0.0)
+        report = validate_against_model(res, model(5.0), n_batches=10**6)
+        assert report["mean_response_time"].ci_half is None

@@ -1,0 +1,58 @@
+"""Routing-policy unit tests; JSQ tie-breaking is pinned explicitly."""
+
+import numpy as np
+import pytest
+
+from repro.dists import Exponential
+from repro.sim import JSQPolicy, PoissonArrivals, Simulation
+
+
+class TestJsqTieBreak:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="tie_break"):
+            JSQPolicy(tie_break="argmin")
+
+    def test_no_tie_ignores_mode(self):
+        rng = np.random.default_rng(0)
+        for mode in ("random", "lowest"):
+            assert JSQPolicy(tie_break=mode).route([3, 1], rng) == 1
+            assert JSQPolicy(tie_break=mode).route([0, 4], rng) == 0
+
+    def test_lowest_always_picks_first_tied(self):
+        rng = np.random.default_rng(0)
+        policy = JSQPolicy(nodes=3, tie_break="lowest")
+        assert all(policy.route([2, 2, 2], rng) == 0 for _ in range(50))
+        assert all(policy.route([5, 1, 1], rng) == 1 for _ in range(50))
+
+    def test_random_is_uniform_over_ties(self):
+        rng = np.random.default_rng(7)
+        policy = JSQPolicy(nodes=3)
+        picks = [policy.route([1, 1, 1], rng) for _ in range(3000)]
+        counts = np.bincount(picks, minlength=3)
+        assert counts.min() > 0.25 * len(picks)  # ~1/3 each
+
+    def test_random_is_seeded(self):
+        policy = JSQPolicy()
+        a = [policy.route([0, 0], np.random.default_rng(5)) for _ in range(20)]
+        b = [policy.route([0, 0], np.random.default_rng(5)) for _ in range(20)]
+        assert a == b
+
+    def test_lowest_biases_node0_under_low_load(self):
+        """The documented argmin artefact: at low load most arrivals see
+        an empty system, so 'lowest' funnels them to node 0 while
+        'random' splits evenly."""
+
+        def run(mode):
+            sim = Simulation(
+                PoissonArrivals(1.0),
+                Exponential(10.0),
+                JSQPolicy(tie_break=mode),
+                (10, 10),
+                seed=3,
+            )
+            return sim.run(t_end=5000.0, warmup=500.0).mean_queue_lengths
+
+        low_a, low_b = run("lowest")
+        rnd_a, rnd_b = run("random")
+        assert low_a > 5 * low_b  # node 0 hoards the work
+        assert rnd_a == pytest.approx(rnd_b, rel=0.25)  # symmetric

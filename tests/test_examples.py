@@ -19,6 +19,7 @@ SLOW = [
     "simulation_validation.py",
     "tagged_job_percentiles.py",
     "tracing_a_solve.py",
+    "online_tags.py",
 ]
 
 
