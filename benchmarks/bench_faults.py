@@ -1,0 +1,123 @@
+"""Fault-machinery overhead: what does resilience cost when nothing fails?
+
+The design rule for ``repro.faults`` is that the no-fault path stays
+free: ``faults=None`` must not perturb either host (the equivalence
+tests pin outcomes bit-for-bit), and an *attached but empty* injector
+should cost only the per-decision ``inj is not None`` checks plus one
+up-front reset.  This file puts numbers on that claim for both hosts,
+and measures a realistic supervised fault storm for scale.
+
+Each benchmark reports ``jobs_per_sec`` in ``extra_info``.
+"""
+
+from repro.dists import Exponential
+from repro.faults import FaultInjector, FaultPlan
+from repro.serve import DispatchRuntime, PoissonLoad, Supervisor
+from repro.sim import ErlangTimeout, PoissonArrivals, Simulation, TagsPolicy
+
+LAM, MU = 8.0, 10.0
+T_END = 1500.0
+
+
+def _policy():
+    return TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),))
+
+
+def _report(benchmark, state):
+    if benchmark.stats is None:  # --benchmark-disable smoke runs
+        return
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["jobs"] = state["jobs"]
+    benchmark.extra_info["jobs_per_sec"] = state["jobs"] / mean
+
+
+def _sim_target(faults_factory):
+    state = {}
+
+    def target():
+        sim = Simulation(
+            PoissonArrivals(LAM),
+            Exponential(MU),
+            _policy(),
+            (10, 10),
+            seed=0,
+            faults=faults_factory(),
+        )
+        res = sim.run(t_end=T_END)
+        state["jobs"] = res.offered
+        return res
+
+    return target, state
+
+
+def test_sim_baseline_no_faults(benchmark):
+    """faults=None: the pre-existing fast path, the reference cost."""
+    target, state = _sim_target(lambda: None)
+    benchmark.pedantic(target, rounds=5, warmup_rounds=1, iterations=1)
+    _report(benchmark, state)
+
+
+def test_sim_empty_injector(benchmark):
+    """An attached injector with no events: pure per-decision checks."""
+    target, state = _sim_target(lambda: FaultInjector(FaultPlan()))
+    benchmark.pedantic(target, rounds=5, warmup_rounds=1, iterations=1)
+    _report(benchmark, state)
+
+
+def test_sim_fault_storm(benchmark):
+    """A busy breakdown/repair schedule on both nodes."""
+    plan = FaultPlan.generate(
+        horizon=T_END, crash_rate=0.02, repair_rate=0.1, nodes=(0, 1), seed=1
+    )
+    target, state = _sim_target(lambda: FaultInjector(plan))
+    benchmark.pedantic(target, rounds=5, warmup_rounds=1, iterations=1)
+    _report(benchmark, state)
+
+
+def _serve_target(faults_factory, supervisor_factory=lambda: None):
+    state = {}
+
+    def target():
+        rt = DispatchRuntime(
+            PoissonLoad(LAM, Exponential(MU)),
+            _policy(),
+            (10, 10),
+            seed=0,
+            faults=faults_factory(),
+            supervisor=supervisor_factory(),
+        )
+        res = rt.run(T_END)
+        state["jobs"] = res.offered
+        return res
+
+    return target, state
+
+
+def test_serve_baseline_no_faults(benchmark):
+    target, state = _serve_target(lambda: None)
+    benchmark.pedantic(target, rounds=5, warmup_rounds=1, iterations=1)
+    _report(benchmark, state)
+
+
+def test_serve_empty_injector(benchmark):
+    """Empty injector + parked supervisor: the event-driven idle claim
+    (a polling supervisor would dominate this number)."""
+    target, state = _serve_target(
+        lambda: FaultInjector(FaultPlan()),
+        lambda: Supervisor(check_interval=1.0),
+    )
+    benchmark.pedantic(target, rounds=5, warmup_rounds=1, iterations=1)
+    _report(benchmark, state)
+
+
+def test_serve_supervised_storm(benchmark):
+    """Crashes, supervised restarts, retries: the full resilience stack."""
+    plan = FaultPlan.generate(
+        horizon=T_END, crash_rate=0.02, repair_rate=0.1, nodes=(1,), seed=2
+    )
+    target, state = _serve_target(
+        lambda: FaultInjector(plan, degraded="single_node"),
+        lambda: Supervisor(check_interval=2.0),
+    )
+    benchmark.pedantic(target, rounds=5, warmup_rounds=1, iterations=1)
+    _report(benchmark, state)

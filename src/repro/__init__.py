@@ -29,6 +29,13 @@ Subpackages
 ``repro.sweep``
     Parallel, cached, warm-started parameter-sweep engine (what the
     figure regenerations and optimisers solve through).
+``repro.serve``
+    Online dispatcher runtime: the simulator's policies as live asyncio
+    services with a closed-loop timeout controller.
+``repro.faults``
+    Fault injection and failure reporting: deterministic crash/repair
+    plans replayed identically by ``sim`` and ``serve``, crash
+    semantics, circuit breaker, degradation tables.
 ``repro.obs``
     Zero-overhead observability: spans, counters/gauges and iteration
     traces recorded through the solvers, state-space builders, the
@@ -47,6 +54,8 @@ __all__ = [
     "batch",
     "experiments",
     "sweep",
+    "serve",
+    "faults",
     "obs",
     "core",
 ]

@@ -19,7 +19,16 @@ Several solvers are provided because they trade accuracy against scale:
 
 :func:`steady_state` picks ``gth`` below :data:`GTH_CUTOFF` states and
 ``direct`` above, which is the right default for every model in this
-reproduction (the paper's largest chains are ~10^4 states).
+reproduction (the paper's largest chains are ~10^4 states).  In
+``"auto"`` mode a failed solve **falls back** along the remaining
+robust solvers (``gth -> direct -> power`` below the cutoff,
+``direct -> power -> gth`` above) rather than failing the caller: a
+stiff breakdown chain that defeats one factorisation usually yields to
+another.  Every failed attempt is recorded in the caller's ``info``
+dict under ``fallbacks`` (method + error) and counted as a
+``steady.fallback`` obs event; if the whole chain fails, the raised
+:class:`SteadyStateError` chains the primary solver's exception.
+Explicitly requested methods never fall back.
 
 Every solver files a ``steady_state`` span (attributes: method, chain
 size, iteration count where applicable) with the process-global
@@ -144,7 +153,10 @@ def steady_state(
     info :
         Optional dict the solver fills with diagnostics: ``method`` always,
         ``iterations`` for the iterative methods, ``warm_started`` when a
-        ``pi0`` was actually consumed.
+        ``pi0`` was actually consumed, and -- in ``"auto"`` mode --
+        ``fallbacks``, a list of ``{"method", "error"}`` records for every
+        solver that failed before one succeeded (empty on a first-try
+        solve).
     """
     Q = _as_Q(generator)
     n = Q.shape[0]
@@ -153,8 +165,6 @@ def steady_state(
     if n == 1:
         _record_info(info, method=method, iterations=0, warm_started=False)
         return np.ones(1)
-    if method == "auto":
-        method = "gth" if n <= GTH_CUTOFF else "direct"
     solvers = {
         "gth": steady_state_gth,
         "direct": steady_state_direct,
@@ -162,14 +172,42 @@ def steady_state(
         "gauss_seidel": steady_state_gauss_seidel,
         "gmres": steady_state_gmres,
     }
-    try:
-        solver = solvers[method]
-    except KeyError:
+
+    def run(m: str) -> np.ndarray:
+        if m in ITERATIVE_METHODS:
+            return solvers[m](Q, tol=tol, pi0=pi0, info=info)
+        _record_info(info, method=m, iterations=None, warm_started=False)
+        return solvers[m](Q, tol=tol)
+
+    if method == "auto":
+        chain = (
+            ("gth", "direct", "power")
+            if n <= GTH_CUTOFF
+            else ("direct", "power", "gth")
+        )
+        rec = obs.recorder()
+        fallbacks: list = []
+        first_exc: SteadyStateError | None = None
+        for m in chain:
+            try:
+                pi = run(m)
+            except SteadyStateError as exc:
+                fallbacks.append({"method": m, "error": str(exc)})
+                _record_info(info, fallbacks=list(fallbacks))
+                if rec.enabled:
+                    rec.add("steady.fallback")
+                if first_exc is None:
+                    first_exc = exc
+                continue
+            _record_info(info, fallbacks=list(fallbacks))
+            return pi
+        raise SteadyStateError(
+            "all auto solvers failed: "
+            + "; ".join(f"{f['method']}: {f['error']}" for f in fallbacks)
+        ) from first_exc
+    if method not in solvers:
         raise ValueError(f"unknown method {method!r}; choose from {sorted(solvers)}")
-    if method in ITERATIVE_METHODS:
-        return solver(Q, tol=tol, pi0=pi0, info=info)
-    _record_info(info, method=method, iterations=None, warm_started=False)
-    return solver(Q, tol=tol)
+    return run(method)
 
 
 def steady_state_gth(generator, tol: float = 1e-8) -> np.ndarray:

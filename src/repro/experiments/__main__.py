@@ -10,7 +10,8 @@ Usage::
 Experiment ids: ``6``-``12`` (figures), ``s1`` (Section 1 example),
 ``t1`` (state-space count), ``a`` (Section 4 approximations),
 ``serve`` (online dispatcher: controller trajectory + live-vs-CTMC
-validation, virtual clock).
+validation, virtual clock), ``faults`` (graceful degradation versus
+node-2 crash rate, supervised failover on the virtual clock).
 
 Observability flags (see ``docs/observability.md``):
 
@@ -131,6 +132,29 @@ def _print_serve() -> None:
     print(validate_against_model(res, model, node_tol=0.25).format())
 
 
+def _print_faults() -> None:
+    """Graceful degradation of the online runtime versus node-2 crash rate.
+
+    Each row replays online TAGS (virtual clock) against a seeded
+    FaultPlan with the given node-2 crash rate; the supervisor restarts
+    the node, and ``degraded="single_node"`` suppresses timeouts while
+    node 2 is down so node 1 serves alone.  The interesting readout is
+    how slowly throughput falls as availability erodes.
+    """
+    import os
+
+    from repro.faults import degradation_table
+
+    rates = [0.0, 0.002, 0.005, 0.01, 0.02]
+    env = os.environ.get("REPRO_FAULTS_CRASH_RATES")
+    if env:
+        rates = [float(x) for x in env.split(",")]
+    print("FAULTS: degradation vs node-2 crash rate "
+          "(supervised, single-node fallback)")
+    headers, rows = degradation_table(rates, supervised=True)
+    print(render_table(headers, rows))
+
+
 FIGURES = {
     "6": figure6,
     "7": figure7,
@@ -145,6 +169,7 @@ SPECIALS = {
     "t1": _print_t1,
     "a": _print_a,
     "serve": _print_serve,
+    "faults": _print_faults,
 }
 
 
@@ -176,7 +201,7 @@ def main(argv=None) -> int:
         csv_dir.mkdir(parents=True, exist_ok=True)
     args = [a.lower() for a in raw]
     if not args:
-        args = ["s1", "t1", "a", "serve"] + sorted(FIGURES, key=int)
+        args = ["s1", "t1", "a", "serve", "faults"] + sorted(FIGURES, key=int)
 
     # --trace/--obs-summary record the run even when REPRO_OBS is unset;
     # otherwise whatever recorder the env var installed keeps working

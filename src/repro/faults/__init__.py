@@ -1,0 +1,45 @@
+"""`repro.faults` -- fault injection and resilience for the TAGS stack.
+
+TAGS is itself a restart mechanism -- the paper's node-1 timeout kills a
+job and re-does its work downstream -- yet the rest of the stack used to
+assume the *servers* never fail.  This package closes that gap on three
+fronts:
+
+* **Injection** -- :class:`FaultPlan` (a deterministic, seeded or
+  scripted schedule of ``node_crash`` / ``node_recover`` /
+  ``degrade`` / ``surge`` events) replayed through a
+  :class:`FaultInjector` into both execution hosts.  The offline
+  simulator (``Simulation(..., faults=...)``) and the online runtime
+  (``DispatchRuntime(..., faults=...)``) replay the identical trace to
+  identical per-job fault outcomes under the virtual clock.
+* **Resilience primitives** -- :class:`CircuitBreaker` (fail-fast gate
+  on forward attempts; used with the runtime's retry/backoff machinery)
+  and, on the serving side, :class:`repro.serve.Supervisor`
+  (health-check + restart-with-backoff).
+* **Reporting** -- :class:`FaultReport` (availability, MTTR, jobs lost
+  to failure, work wasted by failure) and :func:`degradation_table`
+  (the crash-rate sweep behind ``python -m repro.experiments faults``).
+
+The exact counterpart lives in :class:`repro.models.TagsBreakdown`: the
+same breakdown/repair dynamics as a CTMC, whose node-1 marginal under
+"node 2 permanently down" reduces to ``models.mm1k`` -- the target
+``serve/validate.py`` holds the degraded runtime to.
+
+See ``docs/robustness.md`` for the fault model and the validation
+methodology.
+"""
+
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.faults.report import FaultReport, degradation_table
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "CircuitBreaker",
+    "FaultReport",
+    "degradation_table",
+]

@@ -1,0 +1,84 @@
+"""A clock-agnostic circuit breaker for forward attempts.
+
+The dispatcher wraps its node-2 (and beyond) forwards in one breaker per
+target node: repeated forward failures -- the target down or full --
+trip the breaker **open**, after which forwards fail fast to the
+fallback (drop / lost-to-failure accounting) without probing the target
+at all.  After ``reset_timeout`` model-seconds the breaker goes
+**half-open** and admits a single probe; a successful placement closes
+it, a failure re-opens it for another full ``reset_timeout``.
+
+The breaker never sources time itself -- callers pass ``now`` from
+whatever clock they run on -- so the same object is exact under the
+virtual clock and sane under the wall clock, and its transition history
+(:attr:`transitions`) lines up with the run's model-time axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CircuitBreaker"]
+
+
+@dataclass
+class CircuitBreaker:
+    """closed -> open -> half-open -> {closed, open} failure gate.
+
+    Parameters
+    ----------
+    failure_threshold :
+        Consecutive failures (while closed) that trip the breaker.
+    reset_timeout :
+        Model-seconds an open breaker waits before admitting a probe.
+    """
+
+    failure_threshold: int = 5
+    reset_timeout: float = 30.0
+    state: str = field(default="closed", init=False)
+    failures: int = field(default=0, init=False)
+    opened_at: "float | None" = field(default=None, init=False)
+    transitions: list = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+
+    def _move(self, state: str, now: float) -> None:
+        self.state = state
+        self.transitions.append((now, state))
+
+    def allow(self, now: float) -> bool:
+        """May an attempt proceed at model time ``now``?
+
+        An open breaker past its reset timeout transitions to half-open
+        and admits this one call as the probe.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if now - self.opened_at >= self.reset_timeout:
+                self._move("half_open", now)
+                return True
+            return False
+        # half-open: the single probe was already admitted; further
+        # attempts wait for its outcome
+        return False
+
+    def record_success(self, now: float) -> None:
+        """An admitted attempt succeeded: close and reset the count."""
+        self.failures = 0
+        if self.state != "closed":
+            self._move("closed", now)
+
+    def record_failure(self, now: float) -> None:
+        """An admitted attempt failed: count it; trip or re-open."""
+        self.failures += 1
+        if self.state == "half_open" or (
+            self.state == "closed" and self.failures >= self.failure_threshold
+        ):
+            self.opened_at = now
+            self.failures = 0
+            self._move("open", now)

@@ -1,0 +1,172 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is a time-sorted, immutable list of
+:class:`FaultEvent` objects -- the *ground truth* of what goes wrong and
+when.  Both execution hosts (:class:`repro.sim.runner.Simulation` and
+:class:`repro.serve.dispatcher.DispatchRuntime`) replay the same plan
+through a :class:`~repro.faults.injector.FaultInjector`, so an offline
+run and an online (virtual-clock) run see the identical fault trace:
+``tests/serve/test_equivalence.py`` pins their per-job fault outcomes to
+each other exactly.
+
+Event kinds
+-----------
+
+``node_crash``
+    The node's server fails: service stops, in-progress work on the
+    current attempt is lost, and (injector policy) its queue is either
+    kept for recovery or dropped.
+``node_recover``
+    The underlying fault clears.  Without a supervisor the node comes
+    straight back up; with one (:class:`repro.serve.Supervisor`) the
+    event only marks the node *restartable* and the supervisor's
+    health-check/backoff loop performs the actual restart, so MTTR
+    includes detection and backoff latency.
+``degrade``
+    Multiply the node's service speed by ``factor`` (applies from the
+    next service start -- a decided race keeps its draw, exactly like a
+    live timeout swap).
+``surge``
+    Multiply the arrival rate by ``factor`` (inter-arrival gaps are
+    divided by it, from the next gap drawn).
+
+Plans are either **scripted** (pass explicit events) or **generated**
+(:meth:`FaultPlan.generate`): seeded alternating exponential
+up/down periods per node, the standard breakdown/repair model the
+``models.tags_breakdown`` CTMC analyses exactly.
+
+Two events at the *same* instant have unspecified relative order against
+other simultaneous runtime events (both hosts are deterministic, but
+their tie-breaking differs); generated plans draw continuous times, so
+ties never occur in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
+
+FAULT_KINDS = ("node_crash", "node_recover", "degrade", "surge")
+"""The event kinds a plan may contain."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action.
+
+    ``node`` is required for the node-scoped kinds and ignored for
+    ``surge`` (which is system-wide); ``factor`` is the speed multiplier
+    for ``degrade`` and the arrival-rate multiplier for ``surge``.
+    """
+
+    time: float
+    kind: str
+    node: int = -1
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.time) or self.time < 0:
+            raise ValueError(f"event time must be finite and >= 0, got {self.time!r}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.kind != "surge" and self.node < 0:
+            raise ValueError(f"{self.kind} event needs a node index >= 0")
+        if self.kind in ("degrade", "surge"):
+            if not np.isfinite(self.factor) or self.factor <= 0:
+                raise ValueError(
+                    f"{self.kind} factor must be finite and > 0, got {self.factor!r}"
+                )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-sorted schedule of :class:`FaultEvent`."""
+
+    events: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        evs = tuple(self.events)
+        for ev in evs:
+            if not isinstance(ev, FaultEvent):
+                raise TypeError(f"plan entries must be FaultEvent, got {type(ev)!r}")
+        # stable sort: same-time events keep their scripted order
+        object.__setattr__(
+            self, "events", tuple(sorted(evs, key=lambda e: e.time))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def max_node(self) -> int:
+        """Largest node index referenced (-1 for a surge-only/empty plan)."""
+        return max((ev.node for ev in self.events), default=-1)
+
+    def for_node(self, node: int) -> tuple:
+        """The node-scoped events touching ``node``, in time order."""
+        return tuple(
+            ev for ev in self.events if ev.kind != "surge" and ev.node == node
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def script(cls, *events) -> "FaultPlan":
+        """Build a plan from ``(time, kind, node[, factor])`` tuples or
+        ready-made :class:`FaultEvent` objects."""
+        out = []
+        for ev in events:
+            if isinstance(ev, FaultEvent):
+                out.append(ev)
+            else:
+                out.append(FaultEvent(*ev))
+        return cls(tuple(out))
+
+    @classmethod
+    def generate(
+        cls,
+        *,
+        horizon: float,
+        crash_rate: float,
+        repair_rate: float,
+        nodes,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Seeded breakdown/repair schedule over ``[0, horizon]``.
+
+        Each node in ``nodes`` alternates exponential up periods (mean
+        ``1 / crash_rate``) and down periods (mean ``1 / repair_rate``),
+        the classic machine-breakdown model -- and exactly the dynamics
+        the :class:`repro.models.TagsBreakdown` CTMC solves, so a
+        generated plan has an analytic availability target
+        ``repair_rate / (crash_rate + repair_rate)``.
+
+        ``crash_rate=0`` yields an empty plan (the no-fault baseline of
+        a degradation sweep).  A node whose final repair would land past
+        ``horizon`` simply stays down.
+        """
+        if not np.isfinite(horizon) or horizon <= 0:
+            raise ValueError("horizon must be finite and positive")
+        if crash_rate < 0 or not np.isfinite(crash_rate):
+            raise ValueError("crash_rate must be finite and >= 0")
+        if repair_rate <= 0 or not np.isfinite(repair_rate):
+            raise ValueError("repair_rate must be finite and positive")
+        events = []
+        if crash_rate > 0:
+            rng = np.random.default_rng(seed)
+            for node in nodes:
+                t = 0.0
+                while True:
+                    t += rng.exponential(1.0 / crash_rate)
+                    if t >= horizon:
+                        break
+                    events.append(FaultEvent(t, "node_crash", node))
+                    t += rng.exponential(1.0 / repair_rate)
+                    if t >= horizon:
+                        break
+                    events.append(FaultEvent(t, "node_recover", node))
+        return cls(tuple(events))

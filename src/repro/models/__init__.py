@@ -20,6 +20,8 @@ Modules
                    H2 via M/PH/1/K).
 ``shortest_queue`` Appendix B shortest-queue strategy (PEPA + direct,
                    exp and H2 service).
+``tags_breakdown`` breakdown/repair-extended TAGS (node-2 failure), the
+                   CTMC ground truth for ``repro.faults`` injection.
 ``mm1k``           analytic M/M/1/K formulas.
 ``mph1k``          M/PH/1/K matrix model.
 ``metrics``        the shared metric record all solvers return.
@@ -29,6 +31,7 @@ from repro.models.metrics import QueueMetrics
 from repro.models.mm1k import MM1K
 from repro.models.mmck import MMcK, erlang_b, erlang_c
 from repro.models.mph1k import MPH1K
+from repro.models.tags_breakdown import TagsBreakdown, build_tags_breakdown_model
 from repro.models.tags_pepa import build_tags_model, tags_pepa_metrics
 from repro.models.tags_hyper import build_tags_h2_model, tags_h2_pepa_metrics
 from repro.models.tags_direct import (
@@ -57,6 +60,8 @@ __all__ = [
     "MPH1K",
     "build_tags_model",
     "tags_pepa_metrics",
+    "TagsBreakdown",
+    "build_tags_breakdown_model",
     "build_tags_h2_model",
     "tags_h2_pepa_metrics",
     "TagsExponential",

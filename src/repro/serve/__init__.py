@@ -24,6 +24,9 @@ Pieces
   re-tuning, deadband hysteresis, full decision history.
 * :mod:`~repro.serve.validate` -- live metrics vs. the CTMC
   steady-state prediction, with CI-aware acceptance.
+* :mod:`~repro.serve.supervisor` -- supervised failover under fault
+  injection (:mod:`repro.faults`): health checks, restart with jittered
+  exponential backoff, full probe history.
 
 Quick start::
 
@@ -57,6 +60,7 @@ from repro.serve.loadgen import (
     TraceDemands,
     TraceLoad,
 )
+from repro.serve.supervisor import RestartAttempt, Supervisor
 from repro.serve.validate import (
     MetricCheck,
     ValidationReport,
@@ -79,6 +83,8 @@ __all__ = [
     "TraceArrivals",
     "TraceDemands",
     "TraceLoad",
+    "RestartAttempt",
+    "Supervisor",
     "MetricCheck",
     "ValidationReport",
     "validate_against_model",

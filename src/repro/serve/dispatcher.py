@@ -29,6 +29,29 @@ Instrumentation goes through :mod:`repro.obs` and is gated on
 attribute check per event (the CI ``serve`` job benches off vs. on):
 per-job ``serve.job`` spans (virtual timestamps), queue-depth gauges,
 and end-of-run counters mirroring the simulator's.
+
+**Faults and resilience** (all off by default; the defaults leave the
+no-fault path bit-for-bit unchanged):
+
+* ``faults=`` replays a :class:`~repro.faults.FaultPlan` /
+  :class:`~repro.faults.FaultInjector` -- the same object the simulator
+  accepts -- through a fault-driver task.  A crash cancels the node's
+  in-flight service race (per-node epochs mark the cancellation, as in
+  the simulator's stale-event skip), wastes the attempt's work, and
+  either holds the queue for recovery (``on_crash="requeue"``) or sheds
+  it (``"drop"``); arrivals and forwards to a down node are shed as
+  ``lost_to_failure``.
+* ``supervisor=`` attaches a :class:`~repro.serve.supervisor.Supervisor`
+  whose health-check/backoff loop performs restarts after a fault
+  clears, so measured MTTR includes detection latency.
+* ``forward_retries=`` / ``breaker=`` guard node-2 forwards with
+  jittered-exponential-backoff retries and a
+  :class:`~repro.faults.CircuitBreaker`; jobs whose forward ultimately
+  fails are ``dropped_forward`` (full target) or ``lost_to_failure``
+  (down target), never leaked.
+
+Retry backoff and supervisor jitter draw from private RNG streams, so
+enabling them never perturbs the workload's draw sequence.
 """
 
 from __future__ import annotations
@@ -41,6 +64,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.faults.injector import FaultInjector
 from repro.serve.clock import Clock, VirtualClock
 from repro.sim.runner import SimulationResult
 from repro.sim.stats import TimeAverage
@@ -115,6 +139,12 @@ class DispatchRuntime:
         controller=None,
         record_jobs: bool = False,
         gauge_interval: float = 10.0,
+        faults=None,
+        supervisor=None,
+        forward_retries: int = 0,
+        retry_backoff: float = 0.5,
+        retry_jitter: float = 0.1,
+        breaker=None,
     ) -> None:
         self.loadgen = loadgen
         self.policy = policy
@@ -141,6 +171,27 @@ class DispatchRuntime:
         if gauge_interval <= 0:
             raise ValueError("gauge_interval must be positive")
         self.gauge_interval = float(gauge_interval)
+        if faults is None or isinstance(faults, FaultInjector):
+            self.faults = faults
+        else:
+            self.faults = FaultInjector(faults)
+        self.supervisor = supervisor
+        if supervisor is not None:
+            if self.faults is None:
+                raise ValueError("a supervisor needs faults to supervise")
+            self.faults.supervised = True
+        if forward_retries < 0:
+            raise ValueError("forward_retries must be >= 0")
+        if retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
+        if not 0 <= retry_jitter < 1:
+            raise ValueError("retry_jitter must be in [0, 1)")
+        self.forward_retries = int(forward_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.retry_jitter = float(retry_jitter)
+        self.breaker = breaker
+        # private stream: retry jitter must not perturb the workload rng
+        self._resilience_rng = np.random.default_rng([seed, 0x7E5])
         self._rec = obs.recorder()  # re-resolved at each arun()
 
         n = len(self.capacities)
@@ -153,6 +204,14 @@ class DispatchRuntime:
         self.forwarded = 0
         self.dropped_arrival = 0
         self.dropped_forward = 0
+        self.lost_to_failure = 0
+        self.work_wasted = 0.0
+        self._epoch = [0] * n
+        self._service_start: list = [None] * n  # (t0, speed, work) per attempt
+        self._sleep_fut: list = [None] * n  # cancellable service race
+        self._up_evt: list = [None] * n  # asyncio.Events, created in arun
+        self._sup_wake = None  # supervisor wake event, created in arun
+        self._inflight_forwards = 0  # jobs mid-retry, owned by no queue
         self.responses: list = []
         self.slowdowns: list = []
         self.demands: list = []
@@ -242,6 +301,11 @@ class DispatchRuntime:
         if self.controller is not None:
             self.window_arrivals.append(now)
         target = self.policy.route(self.queue_lengths(), self.rng)
+        if self.faults is not None and not self.faults.up[target]:
+            # a down node accepts nothing; the arrival is shed
+            self.lost_to_failure += 1
+            self._finish(job, now, "lost_to_failure", target)
+            return
         if len(self.queues[target]) >= self.capacities[target]:
             self.dropped_arrival += 1
             self._finish(job, now, "dropped_arrival", target)
@@ -251,31 +315,74 @@ class DispatchRuntime:
         self._wake[target].set()
 
     async def _generate(self) -> None:
+        inj = self.faults
         while True:
             nxt = self.loadgen.next_job(self.rng)
             if nxt is None:
                 return  # finite trace exhausted
             gap, demand = nxt
+            if inj is not None and inj.arrival_factor != 1.0:
+                gap = gap / inj.arrival_factor
             await self.clock.sleep(gap)
             self._admit(self.clock.now(), demand)
+
+    async def _service_sleep(self, node: int, delay: float) -> bool:
+        """Sleep the race duration; False when a crash voided the race.
+
+        With faults on, the sleep's future is parked where the fault
+        driver can cancel it; a bumped epoch identifies the cancellation
+        as a crash (anything else is runtime teardown and re-raises).
+        """
+        if self.faults is None:
+            await self.clock.sleep(delay)
+            return True
+        e0 = self._epoch[node]
+        fut = asyncio.ensure_future(self.clock.sleep(delay))
+        self._sleep_fut[node] = fut
+        try:
+            await fut
+            return True
+        except asyncio.CancelledError:
+            if self._epoch[node] != e0:
+                return False
+            raise
+        finally:
+            self._sleep_fut[node] = None
 
     async def _serve_node(self, node: int) -> None:
         queue = self.queues[node]
         wake = self._wake[node]
+        inj = self.faults
         resume = getattr(self.policy, "resume", False)
         while True:
+            if inj is not None and not inj.up[node]:
+                await self._up_evt[node].wait()
+                continue
             if not queue:
                 wake.clear()
                 await wake.wait()
                 continue
             job = queue[0]
             work = job.remaining if resume else job.demand
-            wall = work / self.speeds[node]
+            speed = self.speeds[node]
+            if inj is not None:
+                speed = speed * inj.speed_factor[node]
+            wall = work / speed
             sampler = self.policy.timeout(node)
+            if (
+                sampler is not None
+                and inj is not None
+                and inj.suppress_timeout(self.policy.forward(node))
+            ):
+                sampler = None  # degraded single-node: serve to exhaustion
             tau = None if sampler is None else sampler.sample(self.rng)
+            if inj is not None:
+                self._service_start[node] = (self.clock.now(), speed, work)
             if tau is None or wall <= tau:
-                await self.clock.sleep(wall)
+                if not await self._service_sleep(node, wall):
+                    continue  # crash voided the race
                 now = self.clock.now()
+                self._service_start[node] = None
                 queue.popleft()
                 self._note_queue(now, node)
                 self.completed += 1
@@ -287,31 +394,131 @@ class DispatchRuntime:
                 self._finish(job, now, "completed", node)
             else:
                 if resume:
-                    job.remaining = work - tau * self.speeds[node]
-                await self.clock.sleep(tau)
+                    job.remaining = work - tau * speed
+                if not await self._service_sleep(node, tau):
+                    continue  # crash voided the race
                 now = self.clock.now()
+                self._service_start[node] = None
                 queue.popleft()
                 self._note_queue(now, node)
                 self.killed += 1
                 job.kills += 1
-                target = self.policy.forward(node)
-                if (
-                    target is None
-                    or len(self.queues[target]) >= self.capacities[target]
-                ):
-                    self.dropped_forward += 1
-                    self._finish(job, now, "dropped_forward", node)
-                else:
+                # counted until _forward resolves the job; teardown
+                # cancellation leaves it counted, so a job asleep in a
+                # retry backoff at t_end still shows up in still_queued
+                self._inflight_forwards += 1
+                await self._forward(job, node)
+                self._inflight_forwards -= 1
+
+    async def _forward(self, job: JobRecord, node: int) -> None:
+        """Place a killed job at the forward target.
+
+        The default configuration (no retries, no breaker, no faults)
+        reproduces the simulator's drop-after-timeout exactly.  With
+        resilience on, each attempt must pass the breaker and find the
+        target up with room; failed attempts back off exponentially with
+        jitter.  A job whose attempts are exhausted is ``lost_to_failure``
+        when the target is down, ``dropped_forward`` otherwise.
+        """
+        target = self.policy.forward(node)
+        if target is None:
+            self.dropped_forward += 1
+            self._finish(job, self.clock.now(), "dropped_forward", node)
+            return
+        inj = self.faults
+        breaker = self.breaker
+        attempt = 0
+        while True:
+            now = self.clock.now()
+            if breaker is None or breaker.allow(now):
+                if (inj is None or inj.up[target]) and len(
+                    self.queues[target]
+                ) < self.capacities[target]:
+                    if breaker is not None:
+                        breaker.record_success(now)
                     self.forwarded += 1
                     self.queues[target].append(job)
                     self._note_queue(now, target)
                     self._wake[target].set()
+                    return
+                if breaker is not None:
+                    breaker.record_failure(now)
+            if attempt >= self.forward_retries:
+                break
+            attempt += 1
+            delay = self.retry_backoff * (2.0 ** (attempt - 1))
+            if self.retry_jitter:
+                delay *= 1.0 + self.retry_jitter * float(
+                    self._resilience_rng.uniform(-1.0, 1.0)
+                )
+            await self.clock.sleep(delay)
+        now = self.clock.now()
+        if inj is not None and not inj.up[target]:
+            self.lost_to_failure += 1
+            self._finish(job, now, "lost_to_failure", node)
+        else:
+            self.dropped_forward += 1
+            self._finish(job, now, "dropped_forward", node)
+
+    # -- fault handling -------------------------------------------------
+    async def _drive_faults(self) -> None:
+        """Replay the injector's plan on the runtime's clock."""
+        inj = self.faults
+        for ev in inj.events():
+            delay = ev.time - self.clock.now()
+            if delay > 0:
+                await self.clock.sleep(delay)
+            self._apply_fault(ev, self.clock.now())
+
+    def _apply_fault(self, ev, now: float) -> None:
+        inj = self.faults
+        directive = inj.apply(ev, now)
+        node = ev.node
+        rec = self._rec
+        if directive == "crash":
+            if rec.enabled:
+                rec.add("serve.fault.crash")
+            self._epoch[node] += 1  # voids this node's in-flight race
+            self._up_evt[node].clear()
+            attempt = self._service_start[node]
+            self._service_start[node] = None
+            if attempt is not None:
+                start_t, att_speed, att_work = attempt
+                self.work_wasted += (now - start_t) * att_speed
+                if inj.on_crash == "requeue" and getattr(
+                    self.policy, "resume", False
+                ):
+                    # the destroyed attempt's partial service is lost,
+                    # but credit from earlier kills is kept
+                    self.queues[node][0].remaining = att_work
+            fut = self._sleep_fut[node]
+            if fut is not None and not fut.done():
+                fut.cancel()
+            if inj.on_crash == "drop" and self.queues[node]:
+                for job in self.queues[node]:
+                    self.lost_to_failure += 1
+                    self._finish(job, now, "lost_to_failure", node)
+                self.queues[node].clear()
+                self._note_queue(now, node)
+            if self.supervisor is not None:
+                self._sup_wake.set()
+        elif directive == "recover":
+            self._on_restart(node, now)
+
+    def _on_restart(self, node: int, now: float) -> None:
+        """Bring a node back into service (recovery or supervisor restart)."""
+        rec = self._rec
+        if rec.enabled:
+            rec.add("serve.fault.restart")
+        self._up_evt[node].set()
 
     def _reset_measurements(self, now: float) -> None:
         """Warm-up boundary: zero counters, keep jobs in flight."""
         self.offered = self.completed = 0
         self.killed = self.forwarded = 0
         self.dropped_arrival = self.dropped_forward = 0
+        self.lost_to_failure = 0
+        self.work_wasted = 0.0
         self.responses.clear()
         self.slowdowns.clear()
         self.demands.clear()
@@ -332,6 +539,15 @@ class DispatchRuntime:
         t_wall0 = time.perf_counter() if rec.enabled else 0.0
         n = len(self.capacities)
         self._wake = [asyncio.Event() for _ in range(n)]
+        if self.faults is not None:
+            self.faults.reset(n)
+            self._epoch = [0] * n
+            self._service_start = [None] * n
+            self._sleep_fut = [None] * n
+            self._up_evt = [asyncio.Event() for _ in range(n)]
+            for evt in self._up_evt:
+                evt.set()
+            self._sup_wake = asyncio.Event()
         tasks = [asyncio.ensure_future(self._generate())]
         if rec.enabled:
             tasks.append(
@@ -350,6 +566,11 @@ class DispatchRuntime:
                     )
                 )
             )
+        if self.faults is not None:
+            tasks.append(asyncio.ensure_future(self._drive_faults()))
+        if self.supervisor is not None:
+            self.supervisor.bind(self)
+            tasks.append(asyncio.ensure_future(self.supervisor.run()))
         if self.controller is not None:
             self.controller.bind(self)
             tasks.append(asyncio.ensure_future(self.controller.run()))
@@ -380,6 +601,9 @@ class DispatchRuntime:
             rec.add("serve.forwarded", self.forwarded)
             rec.add("serve.dropped.arrival", self.dropped_arrival)
             rec.add("serve.dropped.forward", self.dropped_forward)
+            if self.faults is not None:
+                rec.add("serve.lost_to_failure", self.lost_to_failure)
+                rec.gauge("serve.work_wasted", self.work_wasted)
             for i, avg in enumerate(self.q_avg):
                 rec.gauge("serve.mean_queue_length", avg.mean(t_end), node=i)
         return DispatchResult(
@@ -395,6 +619,10 @@ class DispatchRuntime:
             killed=self.killed,
             forwarded=self.forwarded,
             jobs=self.jobs if self.record_jobs else None,
+            lost_to_failure=self.lost_to_failure,
+            work_wasted=self.work_wasted,
+            still_queued=sum(len(q) for q in self.queues)
+            + self._inflight_forwards,
         )
 
     def run(self, t_end: float, warmup: float = 0.0) -> DispatchResult:

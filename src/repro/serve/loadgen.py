@@ -20,7 +20,16 @@ absolute times as the ground truth; both replay paths accumulate
 ``now + gap`` in the same order, so their floating-point arrival
 instants agree bit-for-bit.  :class:`TraceArrivals` and
 :class:`TraceDemands` adapt a trace to the ``next_interarrival`` /
-``sample`` protocols the simulator expects.
+``sample`` protocols the simulator expects;
+:meth:`Trace.from_arrival_times` builds a trace from absolute arrival
+instants (rejecting non-monotone sequences).
+
+All sources validate their parameters **up front** and name the
+offending field in the ``ValueError``: a zero MMPP rate or a NaN gap
+surfacing as a hung load-generator task deep inside an asyncio run is
+much harder to diagnose than a constructor error (NaN in particular
+slips through naive ``x <= 0`` comparisons, so the checks here insist
+on finiteness explicitly).
 """
 
 from __future__ import annotations
@@ -47,8 +56,14 @@ class PoissonLoad:
     demand: object  # distribution with .sample(size, rng)
 
     def __post_init__(self) -> None:
-        if self.rate <= 0:
-            raise ValueError("rate must be positive")
+        if not np.isfinite(self.rate) or self.rate <= 0:
+            raise ValueError(
+                f"PoissonLoad.rate must be finite and positive, got {self.rate!r}"
+            )
+        if not hasattr(self.demand, "sample"):
+            raise ValueError(
+                "PoissonLoad.demand must be a distribution with .sample(size, rng)"
+            )
 
     def next_job(self, rng: np.random.Generator):
         gap = rng.exponential(1.0 / self.rate)
@@ -62,6 +77,16 @@ class MMPPLoad:
 
     arrivals: object  # MMPPArrivals (or anything with next_interarrival)
     demand: object
+
+    def __post_init__(self) -> None:
+        if not hasattr(self.arrivals, "next_interarrival"):
+            raise ValueError(
+                "MMPPLoad.arrivals must provide next_interarrival(rng)"
+            )
+        if not hasattr(self.demand, "sample"):
+            raise ValueError(
+                "MMPPLoad.demand must be a distribution with .sample(size, rng)"
+            )
 
     def next_job(self, rng: np.random.Generator):
         gap = float(self.arrivals.next_interarrival(rng))
@@ -79,9 +104,17 @@ class Trace:
         self.gaps = np.asarray(self.gaps, dtype=float).ravel()
         self.demands = np.asarray(self.demands, dtype=float).ravel()
         if self.gaps.shape != self.demands.shape:
-            raise ValueError("need one demand per gap")
-        if self.gaps.size and (self.gaps.min() < 0 or self.demands.min() <= 0):
-            raise ValueError("gaps must be >= 0 and demands > 0")
+            raise ValueError(
+                f"Trace.gaps ({self.gaps.size}) and Trace.demands "
+                f"({self.demands.size}) must have one demand per gap"
+            )
+        if self.gaps.size == 0:
+            raise ValueError("Trace.gaps is empty: a trace needs >= 1 job")
+        # NaN passes `min() < 0`, so check finiteness explicitly
+        if not np.all(np.isfinite(self.gaps)) or self.gaps.min() < 0:
+            raise ValueError("Trace.gaps must all be finite and >= 0")
+        if not np.all(np.isfinite(self.demands)) or self.demands.min() <= 0:
+            raise ValueError("Trace.demands must all be finite and > 0")
 
     def __len__(self) -> int:
         return int(self.gaps.size)
@@ -89,6 +122,28 @@ class Trace:
     @property
     def arrival_times(self) -> np.ndarray:
         return np.cumsum(self.gaps)
+
+    @classmethod
+    def from_arrival_times(cls, times, demands) -> "Trace":
+        """Build a trace from absolute arrival instants.
+
+        ``times`` must be non-decreasing (a recorded log in arrival
+        order); the first gap is the first instant itself, i.e. time
+        starts at 0.
+        """
+        times = np.asarray(times, dtype=float).ravel()
+        if times.size == 0:
+            raise ValueError("times is empty: a trace needs >= 1 job")
+        if not np.all(np.isfinite(times)):
+            raise ValueError("times must all be finite")
+        gaps = np.diff(times, prepend=0.0)
+        if gaps.min() < 0:
+            bad = int(np.argmin(gaps))
+            raise ValueError(
+                f"times must be non-decreasing: times[{bad}]="
+                f"{times[bad]!r} < times[{bad - 1}]={times[bad - 1]!r}"
+            )
+        return cls(gaps, demands)
 
     @classmethod
     def synthesise(cls, arrivals, demand, n_jobs: int, *, seed: int = 0) -> "Trace":

@@ -1,0 +1,134 @@
+"""Supervised failover: health checks and restart-with-backoff.
+
+A :class:`Supervisor` runs as a task inside a
+:class:`~repro.serve.dispatcher.DispatchRuntime` with fault injection
+attached.  Under supervision a ``node_recover`` plan event only marks
+the underlying fault *cleared* (see
+:class:`~repro.faults.FaultInjector`); the node stays out of service
+until the supervisor notices and restarts it, so measured MTTR is the
+operationally honest number: fault duration **plus** detection latency
+(up to ``check_interval``) **plus** any backoff the restart loop had
+accumulated probing the still-broken node.
+
+The loop is event-driven while healthy -- it parks on the runtime's
+crash-wake event and holds **no timer at all**, so a fault-free run
+(including the huge drained trace replays of the equivalence tests)
+never pays a supervision tick.  While any node is down it polls every
+``check_interval`` model-seconds; a node whose restart probe fails
+(fault not yet cleared) is next probed only after a jittered exponential
+backoff ``min(backoff_base * backoff_factor**attempts, backoff_max)``.
+
+Backoff jitter draws from the supervisor's private RNG
+(``numpy.random.default_rng(seed)``), never from the workload stream:
+attaching a supervisor must not change which jobs are killed.
+
+Every probe is recorded in :attr:`Supervisor.history` as a
+:class:`RestartAttempt`, mirrored to :mod:`repro.obs` as
+``serve.supervisor.probe`` / ``serve.supervisor.restart`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+
+__all__ = ["RestartAttempt", "Supervisor"]
+
+
+@dataclass(frozen=True)
+class RestartAttempt:
+    """One health-check probe of a down node."""
+
+    time: float
+    node: int
+    success: bool
+
+
+@dataclass
+class Supervisor:
+    """Health-check / restart-with-backoff loop over a runtime's nodes.
+
+    Parameters
+    ----------
+    check_interval :
+        Model-seconds between polls while any node is down (also the
+        worst-case detection latency after a crash).
+    backoff_base, backoff_factor, backoff_max :
+        Restart backoff schedule: after ``k`` failed probes of a node
+        the next probe waits ``min(base * factor**k, max)`` seconds.
+    jitter :
+        Relative jitter on each backoff delay (uniform in
+        ``[-jitter, +jitter]``); 0 disables it.
+    seed :
+        Seed for the private jitter RNG.
+    """
+
+    check_interval: float = 1.0
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+    history: list = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        if self.backoff_base <= 0 or self.backoff_factor < 1:
+            raise ValueError("backoff_base must be > 0 and backoff_factor >= 1")
+        if self.backoff_max < self.backoff_base:
+            raise ValueError("backoff_max must be >= backoff_base")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        self._runtime = None
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- runtime protocol ----------------------------------------------
+    def bind(self, runtime) -> None:
+        self._runtime = runtime
+
+    async def run(self) -> None:
+        if self._runtime is None:
+            raise RuntimeError("bind() the supervisor to a runtime first")
+        rt = self._runtime
+        inj = rt.faults
+        rec = obs.recorder()
+        n = len(rt.capacities)
+        attempts = [0] * n
+        next_try = [0.0] * n
+        while True:
+            if all(inj.up):
+                # healthy: hold no timer; the fault driver wakes us
+                rt._sup_wake.clear()
+                await rt._sup_wake.wait()
+                continue
+            await rt.clock.sleep(self.check_interval)
+            now = rt.clock.now()
+            for node in range(n):
+                if inj.up[node] or now < next_try[node]:
+                    continue
+                ok = inj.try_restart(node, now)
+                self.history.append(RestartAttempt(now, node, ok))
+                if rec.enabled:
+                    rec.add("serve.supervisor.probe")
+                if ok:
+                    if rec.enabled:
+                        rec.add("serve.supervisor.restart")
+                    attempts[node] = 0
+                    next_try[node] = now
+                    rt._on_restart(node, now)
+                else:
+                    delay = min(
+                        self.backoff_base
+                        * self.backoff_factor ** attempts[node],
+                        self.backoff_max,
+                    )
+                    if self.jitter:
+                        delay *= 1.0 + self.jitter * float(
+                            self._rng.uniform(-1.0, 1.0)
+                        )
+                    attempts[node] += 1
+                    next_try[node] = now + delay

@@ -16,6 +16,18 @@ Semantics (true kill-and-restart TAGS, not the CTMC approximation):
 Because nothing preempts the head job, the winner of the service/timeout
 race is known at service start and exactly one future event per busy node
 is ever scheduled -- no event cancellation is needed.
+
+**Fault injection** (``faults=``): a
+:class:`~repro.faults.FaultPlan` / :class:`~repro.faults.FaultInjector`
+replays node crashes, recoveries, service-rate degradation and arrival
+surges into the run.  Crashes *do* preempt the head job, so scheduled
+race outcomes carry a per-node epoch and a crash invalidates them
+(stale events are skipped when popped -- the heap is never edited).
+Jobs destroyed by failure are counted ``lost_to_failure``; the work an
+interrupted attempt had accumulated is ``work_wasted``.  The identical
+semantics run in :class:`repro.serve.dispatcher.DispatchRuntime`, and
+the equivalence tests pin the two hosts' per-job fault outcomes to each
+other exactly.
 """
 
 from __future__ import annotations
@@ -28,6 +40,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
+from repro.faults.injector import FaultInjector
 from repro.sim.stats import TimeAverage, batch_means_ci
 
 __all__ = ["Simulation", "SimulationResult", "replicate", "replicate_until"]
@@ -68,6 +81,14 @@ class SimulationResult:
     the per-job outcome log ``[(job_id, outcome, node, kills), ...]`` in
     event order, with ids assigned in arrival order -- the currency the
     ``repro.serve`` equivalence tests compare against the online runtime.
+
+    Failure accounting (all zero without fault injection):
+    ``lost_to_failure`` counts jobs destroyed by node failure (crashed
+    away under ``on_crash="drop"``, shed because the routed or forward
+    node was down), ``work_wasted`` the demand-units of service an
+    interrupted attempt had accumulated when its node crashed, and
+    ``still_queued`` the jobs left in queues at ``t_end`` -- so every
+    offered job is accounted for exactly once (:attr:`accounted`).
     """
 
     duration: float
@@ -80,6 +101,9 @@ class SimulationResult:
     slowdowns: np.ndarray
     demands: np.ndarray = field(default_factory=lambda: np.empty(0))
     jobs: "list | None" = None
+    lost_to_failure: int = 0
+    work_wasted: float = 0.0
+    still_queued: int = 0
 
     def job_outcomes(self) -> dict:
         """``job_id -> (outcome, node, kills)`` for finished jobs."""
@@ -99,6 +123,26 @@ class SimulationResult:
     def loss_probability(self) -> float:
         total = self.dropped_arrival + self.dropped_forward
         return total / self.offered if self.offered else 0.0
+
+    @property
+    def accounted(self) -> int:
+        """Jobs accounted for: completed + dropped + lost + queued.
+
+        Equals :attr:`offered` whenever the measurement window starts at
+        time zero (``warmup=0``) -- the job-conservation invariant the
+        fault-injection property tests pin for every seeded plan.
+        """
+        return (
+            self.completed
+            + self.dropped_arrival
+            + self.dropped_forward
+            + self.lost_to_failure
+            + self.still_queued
+        )
+
+    @property
+    def failure_loss_probability(self) -> float:
+        return self.lost_to_failure / self.offered if self.offered else 0.0
 
     @property
     def mean_jobs(self) -> float:
@@ -178,6 +222,11 @@ class Simulation:
     record_jobs :
         Keep a per-job outcome log on the result (see
         :attr:`SimulationResult.jobs`).
+    faults :
+        Optional :class:`~repro.faults.FaultPlan` (wrapped in a default
+        :class:`~repro.faults.FaultInjector`) or a configured injector:
+        replays node crashes/recoveries, service degradation and
+        arrival surges into the run (see the module docstring).
     """
 
     def __init__(
@@ -191,6 +240,7 @@ class Simulation:
         rng: "np.random.Generator | None" = None,
         speeds=None,
         record_jobs: bool = False,
+        faults=None,
     ) -> None:
         self.arrivals = arrivals
         self.demand = demand
@@ -213,6 +263,10 @@ class Simulation:
                 raise ValueError("speeds must be positive")
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.record_jobs = record_jobs
+        if faults is None or isinstance(faults, FaultInjector):
+            self.faults = faults
+        else:
+            self.faults = FaultInjector(faults)
 
     # ------------------------------------------------------------------
     def run(self, t_end: float, warmup: float = 0.0) -> SimulationResult:
@@ -227,8 +281,17 @@ class Simulation:
         heap: list = []
         seq = 0
 
+        inj = self.faults
+        epoch = [0] * n_nodes
+        # per-node (start time, effective speed, work at start) of the
+        # in-progress attempt; consulted on crash for waste accounting
+        # and the requeue remaining-work restore
+        service_start: list = [None] * n_nodes
+
         offered = completed = dropped_arrival = dropped_forward = 0
         killed = forwarded = 0
+        lost_to_failure = 0
+        work_wasted = 0.0
         responses: list = []
         slowdowns: list = []
         demands: list = []
@@ -249,27 +312,54 @@ class Simulation:
             resume policies the job's *remaining* work is what is served
             (and decremented on a kill); under restart the remaining work
             is re-set to the full demand, so prior service is lost.
+
+            With fault injection: a down node starts nothing (service
+            resumes on recovery); degradation scales the effective speed
+            at service start; ``single_node`` mode suppresses the timeout
+            race while the forward target is down.  The scheduled outcome
+            carries the node's epoch, so a later crash invalidates it.
             """
+            if inj is not None and not inj.up[node]:
+                return
             job = queues[node][0]
             resume = getattr(self.policy, "resume", False)
             work = job.remaining if resume else job.demand
-            wall = work / self.speeds[node]
+            speed = self.speeds[node]
+            if inj is not None:
+                speed = speed * inj.speed_factor[node]
+            wall = work / speed
+            service_start[node] = (now, speed, work)
             sampler = self.policy.timeout(node)
-            if sampler is None:
-                push(now + wall, "complete", node)
+            if sampler is None or (
+                inj is not None
+                and inj.suppress_timeout(self.policy.forward(node))
+            ):
+                push(now + wall, "complete", node, epoch[node])
                 return
             tau = sampler.sample(rng)
             if wall <= tau:
-                push(now + wall, "complete", node)
+                push(now + wall, "complete", node, epoch[node])
             else:
                 if resume:
-                    job.remaining = work - tau * self.speeds[node]
-                push(now + tau, "kill", node)
+                    job.remaining = work - tau * speed
+                push(now + tau, "kill", node, epoch[node])
 
         def note_queue(now: float, node: int) -> None:
             q_avg[node].update(now, len(queues[node]))
 
-        push(self.arrivals.next_interarrival(rng), "arrival", -1)
+        def next_gap() -> float:
+            gap = self.arrivals.next_interarrival(rng)
+            if inj is not None and inj.arrival_factor != 1.0:
+                gap = gap / inj.arrival_factor
+            return gap
+
+        if inj is not None:
+            inj.reset(n_nodes)
+            # fault events enter the heap before the first arrival, so a
+            # fault always precedes same-time host events (lower seq)
+            for ev in inj.events():
+                push(ev.time, "fault", ev.node, ev)
+        push(next_gap(), "arrival", -1)
         now = 0.0
         while heap:
             now, _, kind, node, payload = heapq.heappop(heap)
@@ -284,12 +374,14 @@ class Simulation:
                     q_avg[node_i].reset(warmup, len(queues[node_i]))
                 offered = completed = dropped_arrival = dropped_forward = 0
                 killed = forwarded = 0
+                lost_to_failure = 0
+                work_wasted = 0.0
                 responses.clear()
                 slowdowns.clear()
                 demands.clear()
 
             if kind == "arrival":
-                push(now + self.arrivals.next_interarrival(rng), "arrival", -1)
+                push(now + next_gap(), "arrival", -1)
                 offered += 1
                 job = _Job(
                     now, float(self.demand.sample(1, rng)[0]), job_id=next_id
@@ -298,6 +390,14 @@ class Simulation:
                 target = self.policy.route(
                     [len(q) for q in queues], rng
                 )
+                if inj is not None and not inj.up[target]:
+                    # a down node accepts nothing; the arrival is shed
+                    lost_to_failure += 1
+                    if job_log is not None:
+                        job_log.append(
+                            (job.job_id, "lost_to_failure", target, 0)
+                        )
+                    continue
                 if len(queues[target]) >= self.capacities[target]:
                     dropped_arrival += 1
                     if job_log is not None:
@@ -311,6 +411,9 @@ class Simulation:
                     start_service(now, target)
 
             elif kind == "complete":
+                if payload != epoch[node]:
+                    continue  # scheduled before a crash; outcome voided
+                service_start[node] = None
                 job = queues[node].popleft()
                 note_queue(now, node)
                 completed += 1
@@ -323,12 +426,22 @@ class Simulation:
                     start_service(now, node)
 
             elif kind == "kill":
+                if payload != epoch[node]:
+                    continue  # scheduled before a crash; outcome voided
+                service_start[node] = None
                 job = queues[node].popleft()
                 note_queue(now, node)
                 killed += 1
                 job.kills += 1
                 target = self.policy.forward(node)
-                if target is None or len(queues[target]) >= self.capacities[target]:
+                if inj is not None and target is not None and not inj.up[target]:
+                    # killed with the forward target down: shed
+                    lost_to_failure += 1
+                    if job_log is not None:
+                        job_log.append(
+                            (job.job_id, "lost_to_failure", node, job.kills)
+                        )
+                elif target is None or len(queues[target]) >= self.capacities[target]:
                     dropped_forward += 1
                     if job_log is not None:
                         job_log.append(
@@ -342,6 +455,34 @@ class Simulation:
                         start_service(now, target)
                 if queues[node]:
                     start_service(now, node)
+
+            elif kind == "fault":
+                directive = inj.apply(payload, now)
+                if directive == "crash":
+                    epoch[node] += 1  # voids this node's scheduled outcome
+                    attempt = service_start[node]
+                    service_start[node] = None
+                    if attempt is not None:
+                        start_t, att_speed, att_work = attempt
+                        work_wasted += (now - start_t) * att_speed
+                        if inj.on_crash == "requeue" and getattr(
+                            self.policy, "resume", False
+                        ):
+                            # the destroyed attempt's partial service is
+                            # lost, but credit from earlier kills is kept
+                            queues[node][0].remaining = att_work
+                    if inj.on_crash == "drop" and queues[node]:
+                        for job in queues[node]:
+                            lost_to_failure += 1
+                            if job_log is not None:
+                                job_log.append(
+                                    (job.job_id, "lost_to_failure", node, job.kills)
+                                )
+                        queues[node].clear()
+                        note_queue(now, node)
+                elif directive == "recover":
+                    if queues[node]:
+                        start_service(now, node)
             else:  # pragma: no cover
                 raise AssertionError(kind)
 
@@ -361,6 +502,9 @@ class Simulation:
             rec.add("sim.forwarded", forwarded)
             rec.add("sim.dropped.arrival", dropped_arrival)
             rec.add("sim.dropped.forward", dropped_forward)
+            if inj is not None:
+                rec.add("sim.lost_to_failure", lost_to_failure)
+                rec.gauge("sim.work_wasted", work_wasted)
             for i, avg in enumerate(q_avg):
                 rec.gauge("sim.mean_queue_length", avg.mean(t_end), node=i)
         return SimulationResult(
@@ -374,6 +518,9 @@ class Simulation:
             slowdowns=np.asarray(slowdowns),
             demands=np.asarray(demands),
             jobs=job_log,
+            lost_to_failure=lost_to_failure,
+            work_wasted=work_wasted,
+            still_queued=sum(len(q) for q in queues),
         )
 
 

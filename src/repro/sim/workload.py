@@ -31,8 +31,12 @@ class PoissonArrivals:
     rate: float
 
     def __post_init__(self) -> None:
-        if self.rate <= 0:
-            raise ValueError("rate must be positive")
+        # explicit finiteness: NaN slips through a bare `rate <= 0`
+        if not np.isfinite(self.rate) or self.rate <= 0:
+            raise ValueError(
+                f"PoissonArrivals.rate must be finite and positive, "
+                f"got {self.rate!r}"
+            )
 
     @property
     def mean_rate(self) -> float:
@@ -57,10 +61,22 @@ class MMPPArrivals:
     switch10: float
 
     def __post_init__(self) -> None:
-        if self.rate0 < 0 or self.rate1 < 0 or max(self.rate0, self.rate1) == 0:
-            raise ValueError("need non-negative rates, at least one positive")
-        if self.switch01 <= 0 or self.switch10 <= 0:
-            raise ValueError("switching rates must be positive")
+        for name in ("rate0", "rate1"):
+            v = getattr(self, name)
+            if not np.isfinite(v) or v < 0:
+                raise ValueError(
+                    f"MMPPArrivals.{name} must be finite and >= 0, got {v!r}"
+                )
+        if max(self.rate0, self.rate1) == 0:
+            raise ValueError(
+                "MMPPArrivals needs at least one of rate0/rate1 positive"
+            )
+        for name in ("switch01", "switch10"):
+            v = getattr(self, name)
+            if not np.isfinite(v) or v <= 0:
+                raise ValueError(
+                    f"MMPPArrivals.{name} must be finite and positive, got {v!r}"
+                )
         self._state = 0
         self._residual = None  # leftover exponential race bookkeeping
 
@@ -95,8 +111,11 @@ class DeterministicTimeout:
     duration: float
 
     def __post_init__(self) -> None:
-        if self.duration <= 0:
-            raise ValueError("duration must be positive")
+        if not np.isfinite(self.duration) or self.duration <= 0:
+            raise ValueError(
+                f"DeterministicTimeout.duration must be finite and positive, "
+                f"got {self.duration!r}"
+            )
 
     @property
     def mean(self) -> float:
@@ -114,8 +133,12 @@ class ErlangTimeout:
     t: float
 
     def __post_init__(self) -> None:
-        if self.n < 1 or self.t <= 0:
-            raise ValueError("need n >= 1 and t > 0")
+        if self.n < 1:
+            raise ValueError(f"ErlangTimeout.n must be >= 1, got {self.n!r}")
+        if not np.isfinite(self.t) or self.t <= 0:
+            raise ValueError(
+                f"ErlangTimeout.t must be finite and positive, got {self.t!r}"
+            )
 
     @property
     def mean(self) -> float:

@@ -14,7 +14,11 @@ Two layers:
 * an optional on-disk layer (``disk_dir``): one pickle file per key,
   written atomically (tmp file + rename).  A corrupt or unreadable file is
   treated as a miss -- the solve is simply recomputed and the file
-  rewritten -- so a killed run can never poison future runs.
+  rewritten -- so a killed run can never poison future runs.  A file
+  that *exists but fails to load* is additionally **quarantined**: moved
+  aside to ``<key>.corrupt`` (counted in :attr:`SolveCache.corrupt` and
+  as a ``cache.corrupt`` obs event) so the evidence survives for
+  debugging instead of being silently overwritten by the recompute.
 
 Parameters that cannot be canonicalised (callables such as
 ``TagsExponential.t_of_q1``) raise :class:`UncacheableParams`; the sweep
@@ -32,6 +36,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro import obs
 
 __all__ = ["UncacheableParams", "SolveRecord", "SolveCache", "cache_key"]
 
@@ -115,13 +121,15 @@ class SolveCache:
         ``disk_dir`` is configured.
     disk_dir :
         Optional directory for the persistent layer.  Created on first
-        write.  Corrupt entries are silently recomputed.
+        write.  Corrupt entries are quarantined to ``<key>.corrupt`` and
+        recomputed.
     """
 
     maxsize: int = 1024
     disk_dir: "str | os.PathLike | None" = None
     hits: int = 0
     misses: int = 0
+    corrupt: int = 0
     _mem: OrderedDict = field(default_factory=OrderedDict, repr=False)
 
     def __post_init__(self) -> None:
@@ -141,20 +149,42 @@ class SolveCache:
             self.hits += 1
             return rec
         if self.disk_dir is not None:
+            path = self._path(key)
             try:
-                with open(self._path(key), "rb") as fh:
+                with open(path, "rb") as fh:
                     rec = pickle.load(fh)
                 if not isinstance(rec, SolveRecord):
                     raise pickle.UnpicklingError("not a SolveRecord")
+            except FileNotFoundError:
+                rec = None  # plain miss
             except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                     ImportError, IndexError, ValueError):
-                rec = None  # missing or corrupt: recompute
+                rec = None  # corrupt: quarantine the file, then recompute
+                self._quarantine(path)
             if rec is not None:
                 self._remember(key, rec)
                 self.hits += 1
                 return rec
         self.misses += 1
         return None
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside (``<key>.corrupt``) and count it.
+
+        The quarantined copy preserves the bad bytes for post-mortems; a
+        later :meth:`put` of the same key recomputes and rewrites the
+        live ``.pkl`` untouched by the quarantine.  Failing to move the
+        file (e.g. a read-only cache dir) degrades to the old
+        treat-as-miss behaviour.
+        """
+        self.corrupt += 1
+        rec = obs.recorder()
+        if rec.enabled:
+            rec.add("cache.corrupt")
+        try:
+            os.replace(path, path[: -len(".pkl")] + ".corrupt")
+        except OSError:
+            pass
 
     def put(self, key: str, record: SolveRecord) -> None:
         """Store ``record`` in memory (and on disk, when configured)."""
@@ -194,7 +224,7 @@ class SolveCache:
         self.hits = self.misses = 0
         if disk and self.disk_dir is not None and os.path.isdir(self.disk_dir):
             for name in os.listdir(self.disk_dir):
-                if name.endswith(".pkl"):
+                if name.endswith((".pkl", ".corrupt")):
                     try:
                         os.unlink(os.path.join(self.disk_dir, name))
                     except OSError:

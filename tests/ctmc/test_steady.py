@@ -101,6 +101,81 @@ class TestFailureModes:
             steady_state(np.zeros((0, 0)))
 
 
+class TestAutoFallback:
+    """auto mode: try the preferred chain, record what failed, chain the
+    original error when everything fails."""
+
+    def _failing(self, exc_msg):
+        def solver(Q, tol=1e-8, **kw):
+            raise SteadyStateError(exc_msg)
+
+        return solver
+
+    def test_first_solver_failure_falls_through(self, monkeypatch):
+        import repro.ctmc.steady as steady_mod
+
+        monkeypatch.setattr(
+            steady_mod, "steady_state_gth", self._failing("gth exploded")
+        )
+        g = birth_death(1.0, 2.0, 5)  # small: chain starts at gth
+        info = {}
+        pi = steady_state(g, "auto", info=info)
+        np.testing.assert_allclose(pi, mm1k_exact(1.0, 2.0, 5), atol=1e-8)
+        assert info["fallbacks"] == [
+            {"method": "gth", "error": "gth exploded"}
+        ]
+        assert info["method"] == "direct"  # the solver that succeeded
+
+    def test_clean_solve_records_empty_fallbacks(self):
+        info = {}
+        steady_state(birth_death(1.0, 2.0, 5), "auto", info=info)
+        assert info["fallbacks"] == []
+
+    def test_total_failure_chains_the_first_error(self, monkeypatch):
+        import repro.ctmc.steady as steady_mod
+
+        for name in (
+            "steady_state_gth",
+            "steady_state_direct",
+            "steady_state_power",
+        ):
+            monkeypatch.setattr(
+                steady_mod, name, self._failing(f"{name} failed")
+            )
+        info = {}
+        with pytest.raises(SteadyStateError, match="all auto solvers") as ei:
+            steady_state(birth_death(1.0, 2.0, 5), "auto", info=info)
+        # the first solver's original exception rides along as __cause__
+        assert isinstance(ei.value.__cause__, SteadyStateError)
+        assert "steady_state_gth failed" in str(ei.value.__cause__)
+        assert [f["method"] for f in info["fallbacks"]] == [
+            "gth",
+            "direct",
+            "power",
+        ]
+
+    def test_explicit_method_never_falls_back(self, monkeypatch):
+        import repro.ctmc.steady as steady_mod
+
+        monkeypatch.setattr(
+            steady_mod, "steady_state_gth", self._failing("gth exploded")
+        )
+        with pytest.raises(SteadyStateError, match="gth exploded"):
+            steady_state(birth_death(1.0, 2.0, 5), "gth")
+
+    def test_fallback_counted_by_obs(self, monkeypatch):
+        from repro import obs
+
+        import repro.ctmc.steady as steady_mod
+
+        monkeypatch.setattr(
+            steady_mod, "steady_state_gth", self._failing("boom")
+        )
+        with obs.use(obs.Recorder()) as rec:
+            steady_state(birth_death(1.0, 2.0, 5), "auto")
+        assert rec.counter("steady.fallback") == 1
+
+
 class TestCrossSolverAgreement:
     def test_random_reversible_chain(self):
         rng = np.random.default_rng(42)

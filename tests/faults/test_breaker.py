@@ -1,0 +1,74 @@
+"""CircuitBreaker: closed -> open -> half-open -> {closed, open}."""
+
+import pytest
+
+from repro.faults import CircuitBreaker
+
+
+class TestTrip:
+    def test_trips_after_threshold_consecutive_failures(self):
+        br = CircuitBreaker(failure_threshold=3, reset_timeout=10.0)
+        for t in (1.0, 2.0):
+            assert br.allow(t)
+            br.record_failure(t)
+            assert br.state == "closed"
+        assert br.allow(3.0)
+        br.record_failure(3.0)
+        assert br.state == "open"
+        assert br.allow(4.0) is False  # fail fast while open
+
+    def test_success_resets_the_failure_count(self):
+        br = CircuitBreaker(failure_threshold=2, reset_timeout=10.0)
+        br.record_failure(1.0)
+        br.record_success(2.0)
+        br.record_failure(3.0)
+        assert br.state == "closed"  # the streak was broken
+
+
+class TestHalfOpen:
+    def test_single_probe_after_reset_timeout(self):
+        br = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+        br.record_failure(0.0)
+        assert br.state == "open"
+        assert br.allow(5.0) is False
+        assert br.allow(10.0) is True  # the probe
+        assert br.state == "half_open"
+        assert br.allow(10.5) is False  # only one probe at a time
+
+    def test_probe_success_closes(self):
+        br = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+        br.record_failure(0.0)
+        assert br.allow(11.0)
+        br.record_success(11.0)
+        assert br.state == "closed"
+        assert br.allow(11.5)
+
+    def test_probe_failure_reopens_for_a_full_timeout(self):
+        br = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+        br.record_failure(0.0)
+        assert br.allow(11.0)
+        br.record_failure(11.0)
+        assert br.state == "open"
+        assert br.allow(20.0) is False  # 10s from re-open, not from t=0
+        assert br.allow(21.0) is True
+
+
+class TestHistory:
+    def test_transitions_record_model_time(self):
+        br = CircuitBreaker(failure_threshold=1, reset_timeout=5.0)
+        br.record_failure(1.0)
+        br.allow(6.0)
+        br.record_success(6.0)
+        assert br.transitions == [
+            (1.0, "open"),
+            (6.0, "half_open"),
+            (6.0, "closed"),
+        ]
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0)

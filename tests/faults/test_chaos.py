@@ -1,0 +1,111 @@
+"""Chaos gate: random seeded fault storms must never break invariants.
+
+The CI ``faults`` job runs this module across a crash-rate x policy
+matrix via environment variables:
+
+``REPRO_CHAOS_CRASH_RATE``   node-2 crash rate (default 0.01)
+``REPRO_CHAOS_POLICY``       ``tags`` / ``random`` / ``jsq`` (default tags)
+
+Whatever the storm does, three things must hold: the run terminates
+(the CI job adds a hard per-test timeout), every offered job is
+accounted for exactly once, and the failure bookkeeping is internally
+consistent (availability in [0, 1], losses >= 0).
+"""
+
+import os
+
+import pytest
+
+from repro.dists import Exponential
+from repro.faults import FaultInjector, FaultPlan, FaultReport
+from repro.serve import DispatchRuntime, PoissonLoad, Supervisor
+from repro.sim import (
+    ErlangTimeout,
+    JSQPolicy,
+    PoissonArrivals,
+    RandomPolicy,
+    Simulation,
+    TagsPolicy,
+)
+
+CRASH_RATE = float(os.environ.get("REPRO_CHAOS_CRASH_RATE", "0.01"))
+POLICY = os.environ.get("REPRO_CHAOS_POLICY", "tags")
+HORIZON = 2000.0
+
+
+def make_policy():
+    if POLICY == "tags":
+        return TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),))
+    if POLICY == "random":
+        return RandomPolicy(weights=(0.5, 0.5))
+    if POLICY == "jsq":
+        return JSQPolicy()
+    raise ValueError(f"unknown REPRO_CHAOS_POLICY {POLICY!r}")
+
+
+def make_plan(seed, nodes=(0, 1)):
+    return FaultPlan.generate(
+        horizon=HORIZON,
+        crash_rate=CRASH_RATE,
+        repair_rate=0.05,
+        nodes=nodes,
+        seed=seed,
+    )
+
+
+def check_invariants(res, inj):
+    assert res.accounted == res.offered
+    assert res.lost_to_failure >= 0
+    assert res.work_wasted >= 0.0
+    for node in range(inj.n_nodes):
+        assert 0.0 <= inj.availability(node, HORIZON) <= 1.0
+    rep = FaultReport.collect(res, inj, HORIZON)
+    assert rep.crashes >= rep.recoveries
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("on_crash", ["requeue", "drop"])
+def test_sim_survives_fault_storm(seed, on_crash):
+    inj = FaultInjector(make_plan(seed), on_crash=on_crash)
+    sim = Simulation(
+        PoissonArrivals(5.0),
+        Exponential(10.0),
+        make_policy(),
+        (10, 10),
+        seed=seed,
+        faults=inj,
+    )
+    res = sim.run(t_end=HORIZON)
+    check_invariants(res, inj)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_serve_survives_fault_storm_supervised(seed):
+    inj = FaultInjector(make_plan(seed), degraded="single_node")
+    rt = DispatchRuntime(
+        PoissonLoad(5.0, Exponential(10.0)),
+        make_policy(),
+        (10, 10),
+        seed=seed,
+        faults=inj,
+        supervisor=Supervisor(check_interval=2.0, seed=seed),
+        forward_retries=2,
+    )
+    res = rt.run(HORIZON)
+    check_invariants(res, inj)
+
+
+def test_serve_storm_with_warmup_still_consistent():
+    """Warmup resets the loss counters mid-storm; the post-warmup window
+    must still be internally consistent (losses, waste >= 0)."""
+    inj = FaultInjector(make_plan(99))
+    rt = DispatchRuntime(
+        PoissonLoad(5.0, Exponential(10.0)),
+        make_policy(),
+        (10, 10),
+        seed=99,
+        faults=inj,
+    )
+    res = rt.run(HORIZON, warmup=200.0)
+    assert res.lost_to_failure >= 0
+    assert res.work_wasted >= 0.0

@@ -1,0 +1,126 @@
+"""FaultInjector: state machine, supervised mode, bookkeeping."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+
+
+def crash_recover_plan():
+    return FaultPlan.script(
+        (10.0, "node_crash", 1),
+        (30.0, "node_recover", 1),
+    )
+
+
+class TestDirectives:
+    def test_crash_then_recover(self):
+        inj = FaultInjector(crash_recover_plan())
+        inj.reset(2)
+        evs = list(inj.events())
+        assert inj.apply(evs[0], 10.0) == "crash"
+        assert inj.up == [True, False]
+        assert inj.apply(evs[1], 30.0) == "recover"
+        assert inj.up == [True, True]
+        assert inj.crashes == 1 and inj.recoveries == 1
+
+    def test_redundant_crash_is_none(self):
+        plan = FaultPlan.script((1.0, "node_crash", 0), (2.0, "node_crash", 0))
+        inj = FaultInjector(plan)
+        inj.reset(1)
+        e1, e2 = inj.events()
+        assert inj.apply(e1, 1.0) == "crash"
+        assert inj.apply(e2, 2.0) is None
+        assert inj.crashes == 1
+
+    def test_degrade_and_surge_are_state_only(self):
+        plan = FaultPlan.script(
+            (1.0, "degrade", 0, 0.5), (2.0, "surge", -1, 3.0)
+        )
+        inj = FaultInjector(plan)
+        inj.reset(1)
+        e1, e2 = inj.events()
+        assert inj.apply(e1, 1.0) is None
+        assert inj.speed_factor[0] == 0.5
+        assert inj.apply(e2, 2.0) is None
+        assert inj.arrival_factor == 3.0
+
+
+class TestSupervisedMode:
+    def test_recover_only_clears_until_restart(self):
+        inj = FaultInjector(crash_recover_plan())
+        inj.supervised = True
+        inj.reset(2)
+        evs = list(inj.events())
+        inj.apply(evs[0], 10.0)
+        # before the fault clears, a restart probe fails
+        assert inj.try_restart(1, 20.0) is False
+        assert inj.apply(evs[1], 30.0) is None  # cleared, NOT up
+        assert inj.up[1] is False
+        assert inj.try_restart(1, 34.0) is True
+        assert inj.up[1] is True
+        # MTTR spans crash -> restart, not crash -> clear
+        assert inj.mttr() == pytest.approx(24.0)
+
+    def test_try_restart_on_up_node_is_trivially_true(self):
+        inj = FaultInjector(FaultPlan())
+        inj.reset(2)
+        assert inj.try_restart(0, 5.0) is True
+        assert inj.recoveries == 0
+
+
+class TestDecisions:
+    def test_suppress_timeout_single_node_only(self):
+        inj = FaultInjector(crash_recover_plan(), degraded="single_node")
+        inj.reset(2)
+        assert inj.suppress_timeout(1) is False
+        inj.apply(next(inj.events()), 10.0)
+        assert inj.suppress_timeout(1) is True
+        assert inj.suppress_timeout(None) is False  # last node: no target
+
+    def test_shed_never_suppresses(self):
+        inj = FaultInjector(crash_recover_plan(), degraded="shed")
+        inj.reset(2)
+        inj.apply(next(inj.events()), 10.0)
+        assert inj.suppress_timeout(1) is False
+
+
+class TestBookkeeping:
+    def test_availability_and_mttr(self):
+        inj = FaultInjector(crash_recover_plan())
+        inj.reset(2)
+        for ev in inj.events():
+            inj.apply(ev, ev.time)
+        assert inj.availability(1, 100.0) == pytest.approx(0.8)
+        assert inj.availability(0, 100.0) == 1.0
+        assert inj.mttr() == pytest.approx(20.0)
+
+    def test_open_downtime_counts_through_t_end(self):
+        plan = FaultPlan.script((10.0, "node_crash", 0))
+        inj = FaultInjector(plan)
+        inj.reset(1)
+        inj.apply(next(inj.events()), 10.0)
+        assert inj.availability(0, 50.0) == pytest.approx(0.2)
+        assert inj.mttr() is None
+
+    def test_reset_rearms_everything(self):
+        inj = FaultInjector(crash_recover_plan())
+        inj.reset(2)
+        for ev in inj.events():
+            inj.apply(ev, ev.time)
+        inj.reset(2)
+        assert inj.up == [True, True]
+        assert inj.crashes == 0 and inj.recoveries == 0
+        assert inj.downtimes == [[], []]
+
+
+class TestValidation:
+    def test_bad_on_crash_and_degraded(self):
+        with pytest.raises(ValueError, match="on_crash"):
+            FaultInjector(FaultPlan(), on_crash="explode")
+        with pytest.raises(ValueError, match="degraded"):
+            FaultInjector(FaultPlan(), degraded="panic")
+
+    def test_reset_rejects_plan_beyond_host(self):
+        inj = FaultInjector(crash_recover_plan())
+        with pytest.raises(ValueError, match="node 1"):
+            inj.reset(1)

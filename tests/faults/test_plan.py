@@ -1,0 +1,147 @@
+"""FaultPlan / FaultEvent: validation, ordering, generation."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultEvent, FaultPlan
+
+
+class TestFaultEvent:
+    def test_valid_kinds_construct(self):
+        for kind in ("node_crash", "node_recover"):
+            ev = FaultEvent(1.0, kind, 0)
+            assert ev.kind in FAULT_KINDS
+
+    def test_bad_time_rejected(self):
+        with pytest.raises(ValueError, match="time"):
+            FaultEvent(-1.0, "node_crash", 0)
+        with pytest.raises(ValueError, match="time"):
+            FaultEvent(float("nan"), "node_crash", 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultEvent(0.0, "meteor_strike", 0)
+
+    def test_node_scoped_kinds_need_a_node(self):
+        with pytest.raises(ValueError, match="node"):
+            FaultEvent(0.0, "node_crash")
+        # surge is system-wide: no node needed
+        FaultEvent(0.0, "surge", factor=2.0)
+
+    def test_factor_must_be_positive_and_finite(self):
+        for kind in ("degrade", "surge"):
+            with pytest.raises(ValueError, match="factor"):
+                FaultEvent(0.0, kind, 0, 0.0)
+            with pytest.raises(ValueError, match="factor"):
+                FaultEvent(0.0, kind, 0, float("inf"))
+
+
+class TestFaultPlan:
+    def test_script_tuples_and_events_mix(self):
+        plan = FaultPlan.script(
+            (5.0, "node_crash", 1),
+            FaultEvent(2.0, "surge", factor=3.0),
+            (9.0, "node_recover", 1),
+        )
+        assert [ev.time for ev in plan] == [2.0, 5.0, 9.0]
+        assert len(plan) == 3
+
+    def test_stable_sort_preserves_scripted_tie_order(self):
+        plan = FaultPlan.script(
+            (1.0, "node_crash", 0),
+            (1.0, "node_recover", 0),
+        )
+        assert [ev.kind for ev in plan] == ["node_crash", "node_recover"]
+
+    def test_non_event_entries_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan(("not an event",))
+
+    def test_max_node_and_for_node(self):
+        plan = FaultPlan.script(
+            (1.0, "node_crash", 2),
+            (2.0, "surge", -1, 2.0),
+            (3.0, "node_recover", 2),
+            (4.0, "degrade", 0, 0.5),
+        )
+        assert plan.max_node() == 2
+        assert [ev.kind for ev in plan.for_node(2)] == [
+            "node_crash",
+            "node_recover",
+        ]
+        assert FaultPlan().max_node() == -1
+
+
+class TestGenerate:
+    def test_zero_crash_rate_is_empty(self):
+        plan = FaultPlan.generate(
+            horizon=100.0, crash_rate=0.0, repair_rate=1.0, nodes=(1,)
+        )
+        assert len(plan) == 0
+
+    def test_alternates_crash_recover_per_node(self):
+        plan = FaultPlan.generate(
+            horizon=5000.0, crash_rate=0.01, repair_rate=0.1, nodes=(0, 1), seed=3
+        )
+        assert len(plan) > 0
+        for node in (0, 1):
+            kinds = [ev.kind for ev in plan.for_node(node)]
+            assert kinds == [
+                "node_crash" if i % 2 == 0 else "node_recover"
+                for i in range(len(kinds))
+            ]
+
+    def test_same_seed_same_plan(self):
+        kw = dict(horizon=2000.0, crash_rate=0.02, repair_rate=0.1, nodes=(1,))
+        a = FaultPlan.generate(seed=7, **kw)
+        b = FaultPlan.generate(seed=7, **kw)
+        c = FaultPlan.generate(seed=8, **kw)
+        assert a.events == b.events
+        assert a.events != c.events
+
+    def test_all_events_inside_horizon(self):
+        plan = FaultPlan.generate(
+            horizon=300.0, crash_rate=0.05, repair_rate=0.2, nodes=(1,), seed=1
+        )
+        assert all(0 <= ev.time < 300.0 for ev in plan)
+
+    def test_long_run_availability_matches_target(self):
+        """Empirical up-fraction of the alternating process converges on
+        repair / (crash + repair)."""
+        crash, repair = 0.01, 0.05
+        plan = FaultPlan.generate(
+            horizon=2e5, crash_rate=crash, repair_rate=repair, nodes=(0,), seed=2
+        )
+        down = 0.0
+        t_down = None
+        for ev in plan:
+            if ev.kind == "node_crash":
+                t_down = ev.time
+            else:
+                down += ev.time - t_down
+                t_down = None
+        if t_down is not None:
+            down += 2e5 - t_down
+        avail = 1.0 - down / 2e5
+        assert avail == pytest.approx(repair / (crash + repair), rel=0.05)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(
+                horizon=0.0, crash_rate=0.1, repair_rate=0.1, nodes=(0,)
+            )
+        with pytest.raises(ValueError):
+            FaultPlan.generate(
+                horizon=10.0, crash_rate=-1.0, repair_rate=0.1, nodes=(0,)
+            )
+        with pytest.raises(ValueError):
+            FaultPlan.generate(
+                horizon=10.0, crash_rate=0.1, repair_rate=0.0, nodes=(0,)
+            )
+        with pytest.raises(ValueError):
+            FaultPlan.generate(
+                horizon=10.0,
+                crash_rate=float("nan"),
+                repair_rate=0.1,
+                nodes=(0,),
+            )

@@ -1,0 +1,158 @@
+"""Fault injection in the offline simulator.
+
+Covers the crash semantics (requeue vs drop), the degraded-mode policy
+(shed vs single_node), degrade/surge multipliers, exact job conservation
+and the guarantee that ``faults=None`` leaves the simulator bit-for-bit
+unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dists import Exponential
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim import (
+    DeterministicTimeout,
+    ErlangTimeout,
+    PoissonArrivals,
+    Simulation,
+    TagsPolicy,
+)
+
+
+def run_tags(plan=None, *, on_crash="requeue", degraded="shed", t_end=2000.0,
+             lam=5.0, mu=10.0, seed=42, **kw):
+    faults = None
+    if plan is not None:
+        faults = FaultInjector(plan, on_crash=on_crash, degraded=degraded)
+    sim = Simulation(
+        PoissonArrivals(lam),
+        Exponential(mu),
+        TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),)),
+        (10, 10),
+        seed=seed,
+        faults=faults,
+        **kw,
+    )
+    return sim.run(t_end=t_end)
+
+
+class TestNoFaultPath:
+    def test_faults_none_is_bitwise_identical(self):
+        """Adding the faults machinery must not perturb a fault-free run."""
+        base = run_tags(None, record_jobs=True)
+        empty = run_tags(FaultPlan(), record_jobs=True)
+        assert base.job_outcomes() == empty.job_outcomes()
+        assert np.array_equal(base.response_times, empty.response_times)
+        assert base.lost_to_failure == 0
+        assert base.work_wasted == 0.0
+
+    def test_result_conserves_without_faults(self):
+        res = run_tags(None)
+        assert res.accounted == res.offered
+
+
+class TestCrashSemantics:
+    PLAN = FaultPlan.script(
+        (500.0, "node_crash", 1), (700.0, "node_recover", 1)
+    )
+
+    @pytest.mark.parametrize("on_crash", ["requeue", "drop"])
+    @pytest.mark.parametrize("degraded", ["shed", "single_node"])
+    def test_conservation_all_combos(self, on_crash, degraded):
+        res = run_tags(self.PLAN, on_crash=on_crash, degraded=degraded)
+        assert res.accounted == res.offered
+        assert res.lost_to_failure >= 0
+
+    def test_drop_loses_at_least_the_requeue_losses(self):
+        lam = 8.0  # node 2 busy enough to hold a queue at crash time
+        req = run_tags(self.PLAN, on_crash="requeue", lam=lam)
+        drop = run_tags(self.PLAN, on_crash="drop", lam=lam)
+        assert drop.lost_to_failure >= req.lost_to_failure
+        assert drop.lost_to_failure > 0
+
+    def test_shed_counts_kills_into_down_node(self):
+        """With shed, timeouts keep firing while node 2 is down and every
+        kill is lost; work_wasted records the destroyed attempt."""
+        plan = FaultPlan.script((200.0, "node_crash", 1))  # down forever
+        res = run_tags(plan, degraded="shed", t_end=3000.0)
+        assert res.lost_to_failure > 0
+        assert res.accounted == res.offered
+        assert res.failure_loss_probability > 0
+
+    def test_crash_mid_service_wastes_the_attempt(self):
+        """work_wasted records the partial service the crash destroyed
+        (node 1 is busy at the crash instants with this seed/load)."""
+        plan = FaultPlan.script(
+            *((t, "node_crash", 0) for t in (300.0, 600.0, 900.0)),
+            *((t + 50.0, "node_recover", 0) for t in (300.0, 600.0, 900.0)),
+        )
+        res = run_tags(plan, lam=8.0, t_end=2000.0)
+        assert res.work_wasted > 0.0
+        assert res.accounted == res.offered
+
+    def test_single_node_suppresses_kills_while_down(self):
+        """With single_node, node 1 serves to exhaustion during the
+        outage: far fewer jobs are lost than under shed."""
+        plan = FaultPlan.script((200.0, "node_crash", 1))
+        shed = run_tags(plan, degraded="shed", t_end=3000.0)
+        single = run_tags(plan, degraded="single_node", t_end=3000.0)
+        assert single.lost_to_failure < shed.lost_to_failure
+        assert single.completed > shed.completed
+        assert single.accounted == single.offered
+
+    def test_arrivals_to_down_node_are_shed(self):
+        """A crash of node 1 itself: arrivals routed there while it is
+        down are lost_to_failure, and service resumes after recovery."""
+        plan = FaultPlan.script(
+            (300.0, "node_crash", 0), (400.0, "node_recover", 0)
+        )
+        res = run_tags(plan, record_jobs=True)
+        lost = [
+            o for o in res.job_outcomes().values() if o[0] == "lost_to_failure"
+        ]
+        assert lost
+        assert res.completed > 0
+        assert res.accounted == res.offered
+
+
+class TestMultipliers:
+    def test_degrade_slows_service(self):
+        plan = FaultPlan.script((0.0, "degrade", 0, 0.25))
+        base = run_tags(None, t_end=1500.0)
+        slow = run_tags(plan, t_end=1500.0)
+        assert slow.mean_response_time > base.mean_response_time
+
+    def test_surge_scales_offered_load(self):
+        plan = FaultPlan.script((0.0, "surge", -1, 2.0))
+        base = run_tags(None, t_end=1500.0)
+        surge = run_tags(plan, t_end=1500.0)
+        assert surge.offered_rate == pytest.approx(
+            2.0 * base.offered_rate, rel=0.1
+        )
+
+
+class TestRequeueRestoresAttemptWork:
+    def test_resume_keeps_earlier_credit_only(self):
+        """Under resume, a crash destroys only the in-flight attempt: the
+        requeued head restarts from the attempt's starting remaining
+        work, not from zero progress of the whole job."""
+        plan = FaultPlan.script(
+            (100.0, "node_crash", 0), (101.0, "node_recover", 0)
+        )
+        res = run_tags(
+            None,
+            record_jobs=True,
+            seed=9,
+        )
+        res_f = Simulation(
+            PoissonArrivals(5.0),
+            Exponential(10.0),
+            TagsPolicy(timeouts=(DeterministicTimeout(0.3),), resume=True),
+            (10, 10),
+            seed=9,
+            faults=FaultInjector(plan),
+            record_jobs=True,
+        ).run(t_end=2000.0)
+        assert res_f.accounted == res_f.offered
+        assert res_f.work_wasted >= 0.0

@@ -1,0 +1,113 @@
+"""Supervised failover in the online runtime (virtual clock)."""
+
+import pytest
+
+from repro.dists import Exponential
+from repro.faults import FaultInjector, FaultPlan, FaultReport
+from repro.serve import (
+    DispatchRuntime,
+    PoissonLoad,
+    Supervisor,
+    Trace,
+    TraceLoad,
+)
+from repro.sim import ErlangTimeout, PoissonArrivals, TagsPolicy
+
+
+def make_runtime(plan, supervisor, **kw):
+    inj = FaultInjector(plan, **kw.pop("inj_kw", {}))
+    rt = DispatchRuntime(
+        PoissonLoad(5.0, Exponential(10.0)),
+        TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),)),
+        (10, 10),
+        seed=42,
+        faults=inj,
+        supervisor=supervisor,
+    )
+    return rt, inj
+
+
+class TestSupervisedRecovery:
+    PLAN = FaultPlan.script(
+        (500.0, "node_crash", 1), (600.0, "node_recover", 1)
+    )
+
+    def test_mttr_includes_detection_and_backoff(self):
+        """The supervisor restarts only after the fault clears AND a
+        probe fires, so measured MTTR strictly exceeds the 100s fault
+        (check_interval=3 puts the poll grid off the t=600 clear)."""
+        sup = Supervisor(check_interval=3.0, seed=1)
+        rt, inj = make_runtime(self.PLAN, sup)
+        res = rt.run(2000.0)
+        assert inj.recoveries == 1
+        assert inj.mttr() > 100.0
+        assert res.accounted == res.offered
+        # probes of the still-broken node failed before the one success
+        assert any(not a.success for a in sup.history)
+        assert sup.history[-1].success
+
+    def test_report_collects_supervised_numbers(self):
+        sup = Supervisor(check_interval=2.0, seed=1)
+        rt, inj = make_runtime(self.PLAN, sup)
+        res = rt.run(2000.0)
+        rep = FaultReport.collect(res, inj, 2000.0)
+        assert rep.crashes == 1 and rep.recoveries == 1
+        assert rep.availability[1] < 1.0
+        assert "MTTR" in rep.format()
+
+    def test_unsupervised_recovers_at_the_plan_event(self):
+        rt, inj = make_runtime(self.PLAN, None)
+        rt.run(2000.0)
+        assert inj.mttr() == pytest.approx(100.0)
+
+
+class TestEventDrivenIdle:
+    def test_healthy_supervisor_holds_no_timer(self):
+        """With an empty plan the supervisor parks on the crash-wake
+        event: a short trace drained to HORIZON=1e9 must finish without
+        the supervisor ticking (a polling loop would spin ~5e8 times)."""
+        trace = Trace.synthesise(PoissonArrivals(5.0), Exponential(10.0), 50)
+        sup = Supervisor(check_interval=2.0)
+        rt = DispatchRuntime(
+            TraceLoad(trace),
+            TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),)),
+            (10, 10),
+            seed=0,
+            faults=FaultInjector(FaultPlan()),
+            supervisor=sup,
+        )
+        res = rt.run(1e9)
+        assert res.completed + res.dropped_arrival + res.dropped_forward == 50
+        assert sup.history == []
+
+
+class TestWiring:
+    def test_supervisor_requires_faults(self):
+        with pytest.raises(ValueError, match="supervis"):
+            DispatchRuntime(
+                PoissonLoad(5.0, Exponential(10.0)),
+                TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),)),
+                (10, 10),
+                supervisor=Supervisor(),
+            )
+
+    def test_attaching_supervisor_sets_supervised_flag(self):
+        sup = Supervisor()
+        rt, inj = make_runtime(FaultPlan(), sup)
+        assert inj.supervised is True
+
+    def test_run_before_bind_raises(self):
+        import asyncio
+
+        with pytest.raises(RuntimeError, match="bind"):
+            asyncio.run(Supervisor().run())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Supervisor(check_interval=0.0)
+        with pytest.raises(ValueError):
+            Supervisor(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            Supervisor(backoff_max=0.5, backoff_base=1.0)
+        with pytest.raises(ValueError):
+            Supervisor(jitter=1.5)

@@ -1,0 +1,100 @@
+"""Property: no fault storm can lose track of a job.
+
+For any seeded FaultPlan and any allocation policy, every arrival the
+simulator offered must be accounted for exactly once at the end of the
+run::
+
+    completed + dropped_arrival + dropped_forward
+              + lost_to_failure + still_queued == offered
+
+This is the invariant the whole ``repro.faults`` layer is built around:
+crash-time queue surgery, requeue/drop semantics, degraded-mode kills
+and down-node shedding may *reclassify* a job, but can never leak or
+double-count one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dists import Exponential
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim import (
+    ErlangTimeout,
+    JSQPolicy,
+    PoissonArrivals,
+    RandomPolicy,
+    Simulation,
+    TagsPolicy,
+)
+
+HORIZON = 600.0
+
+POLICIES = {
+    "tags": lambda: TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),)),
+    "tags_resume": lambda: TagsPolicy(
+        timeouts=(ErlangTimeout(6, 51.0),), resume=True
+    ),
+    "random": lambda: RandomPolicy(weights=(0.5, 0.5)),
+    "jsq": lambda: JSQPolicy(),
+}
+
+plans = st.builds(
+    lambda seed, crash, repair: FaultPlan.generate(
+        horizon=HORIZON,
+        crash_rate=crash,
+        repair_rate=repair,
+        nodes=(0, 1),
+        seed=seed,
+    ),
+    seed=st.integers(0, 2**31),
+    crash=st.floats(0.0, 0.05, allow_nan=False),
+    repair=st.floats(0.01, 0.5, allow_nan=False),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    plan=plans,
+    policy=st.sampled_from(sorted(POLICIES)),
+    on_crash=st.sampled_from(["requeue", "drop"]),
+    degraded=st.sampled_from(["shed", "single_node"]),
+    seed=st.integers(0, 2**31),
+)
+def test_every_arrival_accounted_exactly_once(
+    plan, policy, on_crash, degraded, seed
+):
+    sim = Simulation(
+        PoissonArrivals(6.0),
+        Exponential(10.0),
+        POLICIES[policy](),
+        (8, 8),
+        seed=seed,
+        faults=FaultInjector(plan, on_crash=on_crash, degraded=degraded),
+    )
+    res = sim.run(t_end=HORIZON)
+    assert res.accounted == res.offered
+    assert res.lost_to_failure >= 0
+    assert res.still_queued >= 0
+    assert res.work_wasted >= 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_conservation_survives_mid_storm_cutoff(seed):
+    """Ending the run in the middle of an outage (open downtime, jobs
+    parked in a down node's queue) must still balance."""
+    plan = FaultPlan.script(
+        (HORIZON / 3, "node_crash", 1),
+        (HORIZON / 2, "node_crash", 0),
+    )
+    sim = Simulation(
+        PoissonArrivals(6.0),
+        Exponential(10.0),
+        TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),)),
+        (8, 8),
+        seed=seed,
+        faults=FaultInjector(plan),
+    )
+    res = sim.run(t_end=HORIZON)
+    assert res.accounted == res.offered
+    assert res.still_queued >= 0

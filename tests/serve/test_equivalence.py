@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.dists import Exponential, h2_balanced_means
+from repro.faults import FaultInjector, FaultPlan
 from repro.serve import (
     DispatchRuntime,
     Trace,
@@ -137,6 +138,76 @@ class TestExactEquivalence:
         assert sim_res.job_outcomes() == rt_res.job_outcomes()
         assert sim_res.dropped_arrival == rt_res.dropped_arrival
         assert sim_res.dropped_forward == rt_res.dropped_forward
+
+    def test_fault_plan_replay_matches(self):
+        """Both hosts replaying the same FaultPlan see identical per-job
+        fault outcomes: same jobs lost to failure, same work wasted --
+        across every crash/degraded semantics combination."""
+        trace = Trace.synthesise(
+            PoissonArrivals(5.0), Exponential(10.0), 3000, seed=29
+        )
+        span = float(trace.arrival_times[-1])
+        plan = FaultPlan.generate(
+            horizon=span,
+            crash_rate=0.01,
+            repair_rate=0.05,
+            nodes=(0, 1),
+            seed=3,
+        )
+        assert len(plan) >= 4  # the storm actually happens
+        for on_crash, degraded in [
+            ("requeue", "shed"),
+            ("drop", "shed"),
+            ("requeue", "single_node"),
+        ]:
+            sim = Simulation(
+                TraceArrivals(trace),
+                TraceDemands(trace),
+                TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),)),
+                (10, 10),
+                seed=42,
+                record_jobs=True,
+                faults=FaultInjector(plan, on_crash=on_crash, degraded=degraded),
+            )
+            sim_res = sim.run(t_end=HORIZON)
+            rt = DispatchRuntime(
+                TraceLoad(trace),
+                TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),)),
+                (10, 10),
+                rng=np.random.default_rng(42),
+                record_jobs=True,
+                faults=FaultInjector(plan, on_crash=on_crash, degraded=degraded),
+            )
+            rt_res = rt.run(HORIZON)
+            assert sim_res.job_outcomes() == rt_res.job_outcomes(), (
+                on_crash,
+                degraded,
+            )
+            assert sim_res.lost_to_failure == rt_res.lost_to_failure
+            assert sim_res.work_wasted == rt_res.work_wasted
+            assert sim_res.lost_to_failure > 0  # faults actually bit
+
+    def test_no_fault_equality_with_empty_plan(self):
+        """An attached-but-empty injector must not perturb the runtime:
+        outcomes still match a completely fault-free simulator run."""
+        trace = Trace.synthesise(
+            PoissonArrivals(5.0), Exponential(10.0), 1000, seed=31
+        )
+        sim_res, _ = run_both(
+            trace,
+            lambda: TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),)),
+            (10, 10),
+        )
+        rt = DispatchRuntime(
+            TraceLoad(trace),
+            TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),)),
+            (10, 10),
+            rng=np.random.default_rng(42),
+            record_jobs=True,
+            faults=FaultInjector(FaultPlan()),
+        )
+        rt_res = rt.run(HORIZON)
+        assert sim_res.job_outcomes() == rt_res.job_outcomes()
 
     def test_aggregate_metrics_match_too(self):
         """Beyond outcomes: queue-length time averages agree (same event

@@ -1,0 +1,109 @@
+"""Runtime-side resilience: retries, circuit breaker, degraded mode.
+
+The injection mechanics shared with the simulator are covered by
+``tests/faults`` and the equivalence gate; this module exercises what
+only the online runtime has -- retry-with-backoff on forwards, the
+circuit breaker, and the degraded single-node regime validated against
+the exact M/M/1/K model.
+"""
+
+import pytest
+
+from repro.dists import Exponential
+from repro.faults import CircuitBreaker, FaultInjector, FaultPlan
+from repro.models import MM1K
+from repro.serve import DispatchRuntime, PoissonLoad, validate_against_model
+from repro.sim import DeterministicTimeout, ErlangTimeout, TagsPolicy
+
+
+def make_runtime(plan, *, timeout=DeterministicTimeout(0.1), lam=8.0,
+                 seed=42, **kw):
+    return DispatchRuntime(
+        PoissonLoad(lam, Exponential(10.0)),
+        TagsPolicy(timeouts=(timeout,)),
+        (10, 10),
+        seed=seed,
+        faults=FaultInjector(plan, **kw.pop("inj_kw", {})),
+        **kw,
+    )
+
+
+class TestRetries:
+    OUTAGE = FaultPlan.script(
+        (100.0, "node_crash", 1), (101.0, "node_recover", 1)
+    )
+
+    def test_retry_rides_out_a_short_outage(self):
+        """Kills during a 1s node-2 outage are lost without retries but
+        survive with a backoff schedule that spans the outage."""
+        no_retry = make_runtime(self.OUTAGE).run(300.0)
+        retry = make_runtime(
+            self.OUTAGE, forward_retries=3, retry_backoff=0.6
+        ).run(300.0)
+        assert no_retry.lost_to_failure > 0
+        assert retry.lost_to_failure < no_retry.lost_to_failure
+        assert retry.accounted == retry.offered
+        assert no_retry.accounted == no_retry.offered
+
+    def test_retry_parameters_validated(self):
+        with pytest.raises(ValueError):
+            make_runtime(self.OUTAGE, forward_retries=-1)
+        with pytest.raises(ValueError):
+            make_runtime(self.OUTAGE, forward_retries=1, retry_backoff=0.0)
+
+
+class TestBreaker:
+    def test_breaker_trips_on_a_dead_target(self):
+        plan = FaultPlan.script((100.0, "node_crash", 1))  # down forever
+        br = CircuitBreaker(failure_threshold=3, reset_timeout=1e6)
+        res = make_runtime(plan, breaker=br).run(400.0)
+        assert br.state == "open"
+        assert any(s == "open" for _, s in br.transitions)
+        assert res.lost_to_failure > 0
+        assert res.accounted == res.offered
+
+    def test_breaker_closes_after_recovery(self):
+        plan = FaultPlan.script(
+            (100.0, "node_crash", 1), (150.0, "node_recover", 1)
+        )
+        br = CircuitBreaker(failure_threshold=3, reset_timeout=20.0)
+        res = make_runtime(plan, breaker=br).run(500.0)
+        states = [s for _, s in br.transitions]
+        assert "open" in states and "half_open" in states
+        assert br.state == "closed"  # the post-recovery probe closed it
+        assert res.forwarded > 0
+        assert res.accounted == res.offered
+
+
+class TestDegradedValidation:
+    def test_single_node_regime_is_exactly_mm1k(self):
+        """Node 2 permanently down + single_node degradation: node 1
+        serves every job to exhaustion, i.e. M/M/1/K1.  The live metrics
+        must agree with the exact model within batch-means CIs -- the
+        same gate ``models.tags_breakdown`` passes analytically."""
+        lam, mu, k1 = 5.0, 10.0, 10
+        plan = FaultPlan.script((0.0, "node_crash", 1))
+        rt = DispatchRuntime(
+            PoissonLoad(lam, Exponential(mu)),
+            TagsPolicy(timeouts=(ErlangTimeout(6, 51.0),)),
+            (k1, 10),
+            seed=7,
+            faults=FaultInjector(plan, degraded="single_node"),
+        )
+        res = rt.run(20000.0, warmup=500.0)
+        report = validate_against_model(res, MM1K(lam=lam, mu=mu, K=k1))
+        assert report.ok, report.format()
+        # nothing was killed or forwarded: node 2 never served
+        assert res.killed == 0
+        assert res.forwarded == 0
+
+
+class TestInflightAccounting:
+    def test_jobs_mid_retry_count_as_queued(self):
+        """A run ending while a forward retry sleeps must count that job
+        somewhere: still_queued includes in-flight forwards."""
+        plan = FaultPlan.script((99.0, "node_crash", 1))
+        res = make_runtime(
+            plan, forward_retries=5, retry_backoff=5.0
+        ).run(100.0)
+        assert res.accounted == res.offered

@@ -36,6 +36,31 @@ class TestTrace:
         with pytest.raises(ValueError, match="at least one job"):
             Trace.synthesise(PoissonArrivals(5.0), Exponential(10.0), 0)
 
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Trace([], [])
+
+    def test_nan_slips_no_comparison(self):
+        """NaN passes a naive ``min() < 0`` check; the explicit
+        finiteness guard must still name the offending field."""
+        with pytest.raises(ValueError, match="Trace.gaps"):
+            Trace([1.0, float("nan")], [1.0, 1.0])
+        with pytest.raises(ValueError, match="Trace.demands"):
+            Trace([1.0, 1.0], [1.0, float("nan")])
+
+    def test_from_arrival_times(self):
+        trace = Trace.from_arrival_times([0.5, 2.0, 2.0, 3.5], [1.0] * 4)
+        np.testing.assert_allclose(trace.gaps, [0.5, 1.5, 0.0, 1.5])
+        np.testing.assert_allclose(trace.arrival_times, [0.5, 2.0, 2.0, 3.5])
+
+    def test_from_arrival_times_rejects_non_monotone(self):
+        with pytest.raises(ValueError, match=r"times\[2\]"):
+            Trace.from_arrival_times([1.0, 2.0, 1.5], [1.0] * 3)
+        with pytest.raises(ValueError, match="finite"):
+            Trace.from_arrival_times([1.0, float("inf")], [1.0] * 2)
+        with pytest.raises(ValueError, match="empty"):
+            Trace.from_arrival_times([], [])
+
 
 class TestTraceLoad:
     def test_replay_and_exhaustion(self):
@@ -88,6 +113,17 @@ class TestLiveSources:
     def test_poisson_bad_rate(self):
         with pytest.raises(ValueError, match="rate"):
             PoissonLoad(0.0, Exponential(10.0))
+        with pytest.raises(ValueError, match="PoissonLoad.rate"):
+            PoissonLoad(float("nan"), Exponential(10.0))
+        with pytest.raises(ValueError, match="demand"):
+            PoissonLoad(1.0, object())
+
+    def test_mmpp_load_protocol_checked(self):
+        with pytest.raises(ValueError, match="next_interarrival"):
+            MMPPLoad(object(), Exponential(10.0))
+        mmpp = MMPPArrivals(rate0=10.0, rate1=1.0, switch01=0.5, switch10=0.5)
+        with pytest.raises(ValueError, match="demand"):
+            MMPPLoad(mmpp, object())
 
     def test_mmpp_wraps_arrival_process(self):
         mmpp = MMPPArrivals(rate0=10.0, rate1=1.0, switch01=0.5, switch10=0.5)

@@ -16,6 +16,11 @@ class TestPoisson:
     def test_validation(self):
         with pytest.raises(ValueError):
             PoissonArrivals(0.0)
+        # NaN passes a bare `rate <= 0`: the message must name the field
+        with pytest.raises(ValueError, match="PoissonArrivals.rate"):
+            PoissonArrivals(float("nan"))
+        with pytest.raises(ValueError, match="PoissonArrivals.rate"):
+            PoissonArrivals(float("inf"))
 
 
 class TestMMPP:
@@ -42,6 +47,12 @@ class TestMMPP:
             MMPPArrivals(0.0, 0.0, 1.0, 1.0)
         with pytest.raises(ValueError):
             MMPPArrivals(1.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError, match="MMPPArrivals.rate1"):
+            MMPPArrivals(1.0, float("nan"), 1.0, 1.0)
+        with pytest.raises(ValueError, match="MMPPArrivals.switch10"):
+            MMPPArrivals(1.0, 1.0, 1.0, float("nan"))
+        with pytest.raises(ValueError, match="MMPPArrivals.rate0"):
+            MMPPArrivals(-1.0, 1.0, 1.0, 1.0)
 
 
 class TestTimeouts:
@@ -63,3 +74,7 @@ class TestTimeouts:
             DeterministicTimeout(0.0)
         with pytest.raises(ValueError):
             ErlangTimeout(0, 1.0)
+        with pytest.raises(ValueError, match="DeterministicTimeout.duration"):
+            DeterministicTimeout(float("nan"))
+        with pytest.raises(ValueError, match="ErlangTimeout.t"):
+            ErlangTimeout(6, float("nan"))

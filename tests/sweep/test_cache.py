@@ -183,6 +183,53 @@ class TestDiskLayer:
         _, s2 = eng2.solve(CountingMM1K, PARAMS)
         assert not s2.cache_hit and CountingMM1K.builds == 2
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        """A truncated pickle is moved aside to <key>.corrupt -- the bad
+        bytes survive for post-mortems -- counted on the cache and in
+        obs, and the recompute heals the live .pkl."""
+        from repro import obs
+
+        eng1 = make_engine(cache=SolveCache(disk_dir=tmp_path))
+        _, s1 = eng1.solve(CountingMM1K, PARAMS)
+        path = tmp_path / f"{s1.key}.pkl"
+        bad_bytes = path.read_bytes()[:20]
+        path.write_bytes(bad_bytes)
+
+        cache2 = SolveCache(disk_dir=tmp_path)
+        eng2 = make_engine(cache=cache2)
+        with obs.use(obs.Recorder()) as rec:
+            _, s2 = eng2.solve(CountingMM1K, PARAMS)
+        assert not s2.cache_hit
+        assert cache2.corrupt == 1
+        assert rec.counter("cache.corrupt") == 1
+        quarantined = tmp_path / f"{s1.key}.corrupt"
+        assert quarantined.read_bytes() == bad_bytes
+        # the recompute rewrote the live entry: a fresh cache hits
+        cache3 = SolveCache(disk_dir=tmp_path)
+        _, s3 = make_engine(cache=cache3).solve(CountingMM1K, PARAMS)
+        assert s3.cache_hit
+        assert cache3.corrupt == 0
+
+    def test_missing_file_is_plain_miss_not_corrupt(self, tmp_path):
+        cache = SolveCache(disk_dir=tmp_path)
+        assert cache.get("no-such-key") is None
+        assert cache.corrupt == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_clear_disk_removes_quarantined_files(self, tmp_path):
+        cache = SolveCache(disk_dir=tmp_path)
+        eng = make_engine(cache=cache)
+        _, s = eng.solve(CountingMM1K, PARAMS)
+        path = tmp_path / f"{s.key}.pkl"
+        path.write_bytes(b"junk")
+        SolveCache(disk_dir=tmp_path).get(s.key)  # quarantines
+        assert (tmp_path / f"{s.key}.corrupt").exists()
+        cache.clear(disk=True)
+        assert [
+            p for p in os.listdir(tmp_path)
+            if p.endswith((".pkl", ".corrupt"))
+        ] == []
+
     def test_no_stray_tmp_files(self, tmp_path):
         eng = make_engine(cache=SolveCache(disk_dir=tmp_path))
         eng.solve(CountingMM1K, PARAMS)

@@ -17,6 +17,9 @@ SUBPACKAGES = [
     "repro.batch",
     "repro.experiments",
     "repro.sweep",
+    "repro.serve",
+    "repro.faults",
+    "repro.obs",
 ]
 
 
@@ -60,6 +63,10 @@ class TestDocstrings:
             "repro.sim.runner",
             "repro.sweep.engine",
             "repro.sweep.cache",
+            "repro.faults.plan",
+            "repro.faults.injector",
+            "repro.faults.breaker",
+            "repro.serve.supervisor",
         ],
     )
     def test_public_callables_documented(self, name):
