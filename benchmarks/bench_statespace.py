@@ -20,3 +20,19 @@ def test_figure3_state_space(once):
     )
     assert tbl["measured_states"] == 4331
     assert tbl["formula_states"] == 4331
+
+
+def test_figure3_compiled_state_space(once):
+    """The compiled engine reaches the same 4331 states (Section 5)."""
+    from repro.models import build_tags_model
+    from repro.models.tags_pepa import TagsParameters
+    from repro.pepa.compiled import compile_model
+
+    model = build_tags_model(TagsParameters())
+    cs = once(lambda: compile_model(model).explore())
+    print()
+    print(
+        f"T1b: compiled engine, {cs.n_states} states, "
+        f"{cs.n_transitions} transitions"
+    )
+    assert cs.n_states == 4331

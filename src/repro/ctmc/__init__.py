@@ -46,7 +46,13 @@ from repro.ctmc.passage import (
 )
 from repro.ctmc.lumping import lump_generator, ordinary_lumping_partition
 from repro.ctmc.accumulate import expected_accumulated_reward
-from repro.ctmc.bfs import bfs_generator
+from repro.ctmc.bfs import (
+    ChainTemplate,
+    StructureMismatch,
+    assemble_generator,
+    bfs_arrays,
+    bfs_generator,
+)
 
 __all__ = [
     "Generator",
@@ -73,4 +79,8 @@ __all__ = [
     "ordinary_lumping_partition",
     "expected_accumulated_reward",
     "bfs_generator",
+    "bfs_arrays",
+    "assemble_generator",
+    "ChainTemplate",
+    "StructureMismatch",
 ]

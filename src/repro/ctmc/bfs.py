@@ -7,12 +7,18 @@ labelled :class:`~repro.ctmc.generator.Generator`.  This mirrors the PEPA
 exploration but skips the process-algebra overhead, which makes the
 parameter sweeps in the benchmarks ~50x faster while the test suite pins
 both constructions to each other.
+
+:class:`ChainTemplate` is the evaluate-many companion: it freezes the
+reachability structure of one exploration (states, transition endpoints,
+action labels) so a parameter sweep that changes only *rate values* can
+rebuild the generator without re-walking the state graph -- the direct
+analogue of :meth:`repro.pepa.compiled.CompiledSpace.refill`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterable
+from typing import Callable
 
 import numpy as np
 import scipy.sparse as sp
@@ -20,35 +26,41 @@ import scipy.sparse as sp
 from repro import obs
 from repro.ctmc import Generator
 
-__all__ = ["bfs_generator"]
+__all__ = [
+    "bfs_generator",
+    "bfs_arrays",
+    "assemble_generator",
+    "ChainTemplate",
+    "StructureMismatch",
+]
 
 
-def bfs_generator(
+def bfs_arrays(
     initial,
     successors: Callable,
     *,
     max_states: int = 2_000_000,
 ):
-    """Explore from ``initial`` and build the generator.
+    """Explore from ``initial``; return the raw transition arrays.
 
-    Returns ``(generator, states, index)`` where ``states`` is the list of
-    reachable tuples (``states[0] == initial``) and ``index`` the reverse
-    map.  Parallel transitions with the same action are summed; self-loops
-    are kept in the per-action matrices only.
+    ``(states, index, src, dst, rate, act)`` with ``states[0] ==
+    initial``.  Zero-rate transitions are skipped, negative rates raise
+    ``ValueError``, and transitions are recorded in enumeration order
+    (per-action aggregation happens in :func:`assemble_generator`).
 
-    Each build files a ``ctmc.bfs`` span (state/transition counts) and
-    ``ctmc.bfs.states``/``ctmc.bfs.transitions`` counters with the
-    :mod:`repro.obs` recorder; the exploration loop itself is untouched,
-    so disabled recording costs one attribute check per build.
+    Each exploration files a ``ctmc.bfs`` span (state/transition counts)
+    and ``ctmc.bfs.states``/``ctmc.bfs.transitions`` counters with the
+    :mod:`repro.obs` recorder; the loop itself is untouched, so disabled
+    recording costs one attribute check per build.
     """
     rec = obs.recorder()
     t0 = time.perf_counter() if rec.enabled else 0.0
     index = {initial: 0}
     states = [initial]
-    src: list[int] = []
-    dst: list[int] = []
-    rate: list[float] = []
-    act: list[str] = []
+    src: list = []
+    dst: list = []
+    rate: list = []
+    act: list = []
 
     head = 0
     while head < len(states):
@@ -76,18 +88,194 @@ def bfs_generator(
     src_a = np.asarray(src, dtype=np.int64)
     dst_a = np.asarray(dst, dtype=np.int64)
     rate_a = np.asarray(rate, dtype=np.float64)
-    act_a = np.asarray(act, dtype=object)
-    action_rates = {}
-    for a in sorted(set(act)):
-        mask = act_a == a
-        action_rates[a] = sp.csr_matrix(
-            (rate_a[mask], (src_a[mask], dst_a[mask])), shape=(n, n)
-        )
-    gen = Generator.from_triples(n, src_a, dst_a, rate_a, action_rates=action_rates)
     if rec.enabled:
         rec.record_span(
             "ctmc.bfs", t0, time.perf_counter() - t0, states=n, transitions=len(src)
         )
         rec.add("ctmc.bfs.states", n)
         rec.add("ctmc.bfs.transitions", len(src))
+    return states, index, src_a, dst_a, rate_a, act
+
+
+def assemble_generator(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    rate: np.ndarray,
+    act: list,
+) -> Generator:
+    """Assemble a labelled :class:`Generator` from transition arrays.
+
+    Parallel transitions with the same action are summed (CSR
+    construction sums duplicates); self-loops are kept in the per-action
+    matrices only.  First builds and template refills share this exact
+    path, so equal inputs give bit-identical generators.
+    """
+    act_a = np.asarray(act, dtype=object)
+    action_rates = {}
+    for a in sorted(set(act)):
+        mask = act_a == a
+        action_rates[a] = sp.csr_matrix(
+            (rate[mask], (src[mask], dst[mask])), shape=(n, n)
+        )
+    return Generator.from_triples(n, src, dst, rate, action_rates=action_rates)
+
+
+def bfs_generator(
+    initial,
+    successors: Callable,
+    *,
+    max_states: int = 2_000_000,
+):
+    """Explore from ``initial`` and build the generator.
+
+    Returns ``(generator, states, index)`` where ``states`` is the list of
+    reachable tuples (``states[0] == initial``) and ``index`` the reverse
+    map.  Parallel transitions with the same action are summed; self-loops
+    are kept in the per-action matrices only.
+    """
+    states, index, src, dst, rate, act = bfs_arrays(
+        initial, successors, max_states=max_states
+    )
+    gen = assemble_generator(len(states), src, dst, rate, act)
     return gen, states, index
+
+
+class StructureMismatch(ValueError):
+    """A refill's transition structure differs from the template's."""
+
+
+class ChainTemplate:
+    """Frozen reachability structure of one successor-function CTMC.
+
+    ``explore()`` runs the BFS once and records everything the generator
+    assembly needs (states, endpoints, labels) plus the rates it was
+    built with.  :meth:`refill` recomputes only the rate column by
+    re-enumerating ``successors`` over the *recorded* state list -- no
+    hashing, no dict growth, no reachability discovery -- and verifies
+    the structure still matches (same transitions in the same order); a
+    model whose parameters change the structure (e.g. a rate hitting
+    exactly 0 drops transitions) raises :class:`StructureMismatch` so the
+    caller can rebuild from scratch.
+
+    Model classes with vectorisable rate formulas can skip the
+    re-enumeration entirely and hand :meth:`generator` a rate vector
+    computed directly from the stored endpoint arrays.
+    """
+
+    __slots__ = (
+        "states",
+        "index",
+        "src",
+        "dst",
+        "act",
+        "rate",
+        "initial",
+        "_state_array",
+        "_masks",
+    )
+
+    def __init__(self, states, index, src, dst, rate, act) -> None:
+        self.states = states
+        self.index = index
+        self.src = src
+        self.dst = dst
+        self.rate = rate
+        self.act = act
+        self.initial = states[0]
+        self._state_array = None
+        self._masks = None
+
+    @classmethod
+    def explore(
+        cls,
+        initial,
+        successors: Callable,
+        *,
+        max_states: int = 2_000_000,
+    ) -> "ChainTemplate":
+        return cls(*bfs_arrays(initial, successors, max_states=max_states))
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_transitions(self) -> int:
+        return int(self.src.size)
+
+    def state_array(self) -> np.ndarray:
+        """States as an ``(n_states, width)`` int array (memoised).
+
+        Only valid for flat-tuple state encodings; vectorised rate
+        formulas index it by ``src``/``dst`` to recover per-transition
+        source and destination coordinates.
+        """
+        if self._state_array is None:
+            self._state_array = np.asarray(self.states, dtype=np.int64)
+        return self._state_array
+
+    def action_mask(self, action: str) -> np.ndarray:
+        """Boolean mask of transitions labelled ``action`` (memoised)."""
+        if self._masks is None:
+            self._masks = {}
+        mask = self._masks.get(action)
+        if mask is None:
+            act_a = np.asarray(self.act, dtype=object)
+            mask = self._masks[action] = act_a == action
+        return mask
+
+    def refill(self, successors: Callable) -> np.ndarray:
+        """Rate column of ``successors`` over the recorded structure.
+
+        The new model must enable exactly the transitions this template
+        recorded, in the same enumeration order (true whenever only rate
+        *values* changed); anything else raises
+        :class:`StructureMismatch`.
+        """
+        rec = obs.recorder()
+        with rec.span("template.refill") as sp_:
+            out = np.empty(self.src.size, dtype=np.float64)
+            k = 0
+            src, dst, act, index = self.src, self.dst, self.act, self.index
+            n = self.src.size
+            for sid, state in enumerate(self.states):
+                for action, r, nxt in successors(state):
+                    if r < 0:
+                        raise ValueError(
+                            f"negative rate {r} for {action!r} from {state!r}"
+                        )
+                    if r == 0:
+                        continue
+                    if (
+                        k >= n
+                        or src[k] != sid
+                        or act[k] != action
+                        or dst[k] != index.get(nxt, -1)
+                    ):
+                        raise StructureMismatch(
+                            f"transition {k} differs from the template "
+                            f"(state {state!r}, action {action!r})"
+                        )
+                    out[k] = float(r)
+                    k += 1
+            if k != n:
+                raise StructureMismatch(
+                    f"refill produced {k} transitions, template has {n}"
+                )
+            if rec.enabled:
+                rec.add("template.refill.points")
+            sp_.set(transitions=n)
+        return out
+
+    def generator(self, rate: "np.ndarray | None" = None) -> Generator:
+        """Assemble the generator for ``rate`` (default: the rates the
+        template was explored with)."""
+        if rate is None:
+            rate = self.rate
+        elif rate.shape != self.src.shape:
+            raise StructureMismatch(
+                f"rate vector has {rate.size} entries, template has "
+                f"{self.src.size} transitions"
+            )
+        return assemble_generator(self.n_states, self.src, self.dst, rate, self.act)

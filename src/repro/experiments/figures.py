@@ -9,6 +9,13 @@ so figures over the same grid share one solve pass: ``figure6``/``figure7``
 the second call is answered entirely from the content-addressed cache.
 Set ``REPRO_SWEEP_WORKERS`` to fan the underlying solves out over a
 process pool (see ``docs/performance.md``).
+
+Within one solve pass the state space is explored exactly once per
+*structure*: every grid point of a figure 6/7 or 9/10 sweep varies only
+rate values, so the model builders pull the frozen reachability
+template from :func:`repro.sweep.structure_cache` and refill its rate
+column (``sweep.structure.hit``/``template.refill.points`` counters
+record this when an :mod:`repro.obs` recorder is enabled).
 """
 
 from __future__ import annotations
@@ -316,7 +323,12 @@ def figure12(alphas=FIG11_ALPHAS) -> FigureData:
 # ----------------------------------------------------------------------
 
 def state_space_table() -> dict:
-    """Section 5's state-space claim: 4331 states at n=6, K1=K2=10."""
+    """Section 5's state-space claim: 4331 states at n=6, K1=K2=10.
+
+    ``explore`` dispatches to the compiled engine here (the Figure 3
+    model sits inside the fragment); the interpreter would report the
+    identical counts, which ``tests/pepa/test_compiled.py`` pins.
+    """
     from repro.models.tags_pepa import TagsParameters, build_tags_model
     from repro.pepa import explore
 

@@ -32,7 +32,7 @@ from repro.models.mm1k import MM1K
 from repro.models.mmck import MMcK, erlang_b, erlang_c
 from repro.models.mph1k import MPH1K
 from repro.models.tags_breakdown import TagsBreakdown, build_tags_breakdown_model
-from repro.models.tags_pepa import build_tags_model, tags_pepa_metrics
+from repro.models.tags_pepa import TagsPepa, build_tags_model, tags_pepa_metrics
 from repro.models.tags_hyper import build_tags_h2_model, tags_h2_pepa_metrics
 from repro.models.tags_direct import (
     TagsExponential,
@@ -60,6 +60,7 @@ __all__ = [
     "MPH1K",
     "build_tags_model",
     "tags_pepa_metrics",
+    "TagsPepa",
     "TagsBreakdown",
     "build_tags_breakdown_model",
     "build_tags_h2_model",

@@ -7,6 +7,18 @@ Builds routed through this shim are observable like any other:
 ``bfs_generator`` files a ``ctmc.bfs`` span and state/transition
 counters with the :mod:`repro.obs` recorder (no-ops by default)."""
 
-from repro.ctmc.bfs import bfs_generator
+from repro.ctmc.bfs import (
+    ChainTemplate,
+    StructureMismatch,
+    assemble_generator,
+    bfs_arrays,
+    bfs_generator,
+)
 
-__all__ = ["bfs_generator"]
+__all__ = [
+    "bfs_generator",
+    "bfs_arrays",
+    "assemble_generator",
+    "ChainTemplate",
+    "StructureMismatch",
+]

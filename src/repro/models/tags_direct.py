@@ -39,16 +39,52 @@ import numpy as np
 
 from repro.ctmc import action_throughput, steady_state
 from repro.dists.residual import h2_residual_mixing
-from repro.models._bfs import bfs_generator
+from repro.models._bfs import ChainTemplate, StructureMismatch, bfs_generator
 from repro.models.metrics import QueueMetrics, from_population_and_throughput
+from repro.sweep.structure import structure_cache
 
 __all__ = ["TagsExponential", "TagsHyperExponential", "TagsMultiNode"]
+
+
+def _templated_build(model):
+    """Build ``(generator, states, index)`` through the structure cache.
+
+    Models report the parameters that shape their reachability graph via
+    ``_structure_key()`` (``None`` opts out, e.g. unhashable custom
+    callables); rate-only parameters stay out of the key, so a sweep
+    grid explores each structure once and every further point only
+    recomputes the rate column -- vectorised when the class provides
+    ``_template_rates``, otherwise by re-enumerating ``_successors``
+    over the frozen state list.  A refill whose transition structure
+    disagrees with the template (a parameter combination the key failed
+    to anticipate) drops the entry and rebuilds from scratch.
+    """
+    key = model._structure_key()
+    initial = model._initial()
+    if key is None:
+        return bfs_generator(initial, model._successors)
+
+    def build() -> ChainTemplate:
+        return ChainTemplate.explore(initial, model._successors)
+
+    cache = structure_cache()
+    tpl = cache.get_or_build(key, build)
+    rate = model._template_rates(tpl)
+    if rate is None:
+        try:
+            rate = tpl.refill(model._successors)
+        except StructureMismatch:
+            cache.drop(key)
+            tpl = cache.get_or_build(key, build)
+            rate = tpl.rate
+    return tpl.generator(rate), tpl.states, tpl.index
 
 
 class _TagsBase:
     """Shared solve/metrics plumbing for the direct TAGS chains."""
 
     lam: float
+    SOLVE_ENGINE = "chain-template-v1"
 
     def _q1_of(self, state) -> int:
         raise NotImplementedError
@@ -56,8 +92,19 @@ class _TagsBase:
     def _q2_of(self, state) -> int:
         raise NotImplementedError
 
-    def _build(self):
+    def _initial(self):
         raise NotImplementedError
+
+    def _structure_key(self):
+        """Hashable key of the structure-shaping parameters (or None)."""
+        return None
+
+    def _template_rates(self, tpl: ChainTemplate):
+        """Vectorised rate column for ``tpl``, or None for generic refill."""
+        return None
+
+    def _build(self):
+        return _templated_build(self)
 
     def __init_solver(self) -> None:
         self._gen, self._states, self._index = self._build()
@@ -207,10 +254,53 @@ class TagsExponential(_TagsBase):
                 out.append(("service2", mu2, (q1, r1, q2 - 1, 0, new_r2)))
         return out
 
-    def _build(self):
+    def _initial(self):
         ph0 = 0 if self.restart_work else 1
-        initial = (0, self.n - 1, 0, ph0, self.n - 1)
-        return bfs_generator(initial, self._successors)
+        return (0, self.n - 1, 0, ph0, self.n - 1)
+
+    def _structure_key(self):
+        # lam / mu / t / mu2_service / t2 / t_of_q1 scale rates only (all
+        # validated positive, so no transition ever drops to rate 0);
+        # everything here changes which transitions exist
+        return (
+            type(self).__qualname__,
+            self.n,
+            self.K1,
+            self.K2,
+            self.tick_during_residual,
+            self.restart_work,
+        )
+
+    def _template_rates(self, tpl: ChainTemplate) -> np.ndarray:
+        # every transition's rate is one of a handful of scalars (or a
+        # t_of_q1 lookup on the source queue length): identical floats to
+        # what _successors emits, so refilled generators are bit-equal
+        rate = np.empty(tpl.n_transitions, dtype=np.float64)
+        lam = float(self.lam)
+        mu = float(self.mu)
+        t2 = float(self.t if self.t2 is None else self.t2)
+        mu2 = float(self.mu if self.mu2_service is None else self.mu2_service)
+        for action, value in (
+            ("arrival", lam),
+            ("arrloss", lam),
+            ("service1", mu),
+            ("tick2", t2),
+            ("repeatservice", t2),
+            ("service2", mu2),
+        ):
+            rate[tpl.action_mask(action)] = value
+        clock = tpl.action_mask("tick1") | tpl.action_mask("timeout")
+        if self.t_of_q1 is None:
+            rate[clock] = float(self.t)
+        else:
+            # sources of tick1/timeout always have q1 >= 1 (the clock
+            # only runs while node 1 is busy), so index by q1 - 1
+            lookup = np.array(
+                [float(self.t_of_q1(q)) for q in range(1, self.K1 + 1)]
+            )
+            q1 = tpl.state_array()[tpl.src[clock], 0]
+            rate[clock] = lookup[q1 - 1]
+        return rate
 
 
 @dataclass
@@ -318,9 +408,63 @@ class TagsHyperExponential(_TagsBase):
                 )
         return out
 
-    def _build(self):
-        initial = (0, 0, self.n - 1, 0, 0, self.n - 1)
-        return bfs_generator(initial, self._successors)
+    def _initial(self):
+        return (0, 0, self.n - 1, 0, 0, self.n - 1)
+
+    def _structure_key(self):
+        # alpha is validated inside (0, 1) so its splits never vanish,
+        # but alpha_prime is free: a degenerate value (0 or 1) zeroes one
+        # repeatservice branch and drops those transitions, which is a
+        # different structure
+        ap = self.resolved_alpha_prime
+        return (
+            type(self).__qualname__,
+            self.n,
+            self.K1,
+            self.K2,
+            self.tick_during_residual,
+            ap == 0.0,
+            ap == 1.0,
+        )
+
+    def _template_rates(self, tpl: ChainTemplate) -> np.ndarray:
+        S = tpl.state_array()
+        src, dst = tpl.src, tpl.dst
+        rate = np.empty(tpl.n_transitions, dtype=np.float64)
+        lam, t = float(self.lam), float(self.t)
+        a = float(self.alpha)
+        ap = float(self.resolved_alpha_prime)
+        mu1, mu2 = float(self.mu1), float(self.mu2)
+
+        m = tpl.action_mask("arrival")
+        # from an empty node 1 the stream splits by the entering head's
+        # phase; otherwise the head is unchanged and the full lam flows
+        rate[m] = np.where(
+            S[src[m], 0] == 0,
+            np.where(S[dst[m], 1] == 0, lam * a, lam * (1 - a)),
+            lam,
+        )
+        rate[tpl.action_mask("arrloss")] = lam
+        # node-1 departures: head-phase rate times the next head's
+        # phase draw (no draw when the queue empties: q1 == 1)
+        for action, clock in (("service1", False), ("timeout", True)):
+            m = tpl.action_mask(action)
+            if not m.any():
+                continue
+            base = t if clock else np.where(S[src[m], 1] == 0, mu1, mu2)
+            branch = np.where(
+                S[src[m], 0] == 1,
+                1.0,
+                np.where(S[dst[m], 1] == 0, a, 1 - a),
+            )
+            rate[m] = base * branch
+        rate[tpl.action_mask("tick1")] = t
+        rate[tpl.action_mask("tick2")] = t
+        m = tpl.action_mask("repeatservice")
+        rate[m] = np.where(S[dst[m], 4] == 1, t * ap, t * (1 - ap))
+        m = tpl.action_mask("service2")
+        rate[m] = np.where(S[src[m], 4] == 1, mu1, mu2)
+        return rate
 
 
 @dataclass
@@ -355,6 +499,10 @@ class TagsMultiNode:
             raise ValueError("need one timeout rate per non-final node")
         if min(self.lam, self.mu) <= 0 or min(self.timeouts) <= 0:
             raise ValueError("rates must be positive")
+        # remember whether the cycle policy was customised before
+        # defaulting it: a custom callable has no hashable identity, so
+        # such instances opt out of the structure cache
+        self._custom_cycles = self.repeat_cycles is not None
         if self.repeat_cycles is None:
             self.repeat_cycles = lambda i: i - 1  # node index is 1-based
 
@@ -474,8 +622,23 @@ class TagsMultiNode:
                             out.append(("timeout", t, with_node(i, next_head())))
         return out
 
+    def _structure_key(self):
+        if self._custom_cycles:
+            return None
+        # lam / mu / timeouts are rate-only (validated positive); the
+        # node count, capacities, phase count and the default cycle
+        # policy determine reachability
+        return (type(self).__qualname__, self.n, self.capacities)
+
+    def _template_rates(self, tpl):
+        # rates mix per-node timeout indices; the generic successor
+        # re-enumeration refill is fast enough for this model
+        return None
+
+    SOLVE_ENGINE = "chain-template-v1"
+
     def _build(self):
-        return bfs_generator(self._initial(), self._successors)
+        return _templated_build(self)
 
     @property
     def generator(self):

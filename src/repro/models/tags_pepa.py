@@ -64,8 +64,14 @@ from repro.pepa import (
     top,
 )
 from repro.models.metrics import QueueMetrics, from_population_and_throughput
+from repro.sweep.structure import structure_cache
 
-__all__ = ["TagsParameters", "build_tags_model", "tags_pepa_metrics"]
+__all__ = [
+    "TagsParameters",
+    "TagsPepa",
+    "build_tags_model",
+    "tags_pepa_metrics",
+]
 
 
 @dataclass(frozen=True)
@@ -196,6 +202,22 @@ def build_tags_model(params: TagsParameters) -> Model:
     return Model(defs, system)
 
 
+def _q1_len(names) -> float:
+    for nm in names:
+        if nm.startswith("Q1_"):
+            return float(nm[3:])
+    raise AssertionError("no Q1 component in state")
+
+
+def _q2_len(names) -> float:
+    for nm in names:
+        if nm.startswith("Q2_"):
+            return float(nm[3:])
+        if nm.startswith("Q2r_"):
+            return float(nm[4:])
+    raise AssertionError("no Q2 component in state")
+
+
 def tags_pepa_metrics(params: TagsParameters) -> QueueMetrics:
     """Explore, solve and extract the paper's metrics from the Figure 3
     model."""
@@ -204,19 +226,7 @@ def tags_pepa_metrics(params: TagsParameters) -> QueueMetrics:
     gen = to_generator(space)
     pi = steady_state(gen)
 
-    def q1_len(names) -> float:
-        for nm in names:
-            if nm.startswith("Q1_"):
-                return float(nm[3:])
-        raise AssertionError("no Q1 component in state")
-
-    def q2_len(names) -> float:
-        for nm in names:
-            if nm.startswith("Q2_"):
-                return float(nm[3:])
-            if nm.startswith("Q2r_"):
-                return float(nm[4:])
-        raise AssertionError("no Q2 component in state")
+    q1_len, q2_len = _q1_len, _q2_len
 
     L1 = float(pi @ space.state_reward(q1_len))
     L2 = float(pi @ space.state_reward(q2_len))
@@ -238,3 +248,123 @@ def tags_pepa_metrics(params: TagsParameters) -> QueueMetrics:
             "service2_throughput": x_s2,
         },
     )
+
+
+@dataclass
+class TagsPepa:
+    """Sweepable Figure 3 PEPA model on the compiled engine.
+
+    Same parameters and metrics as :func:`tags_pepa_metrics`, packaged
+    as a model class the sweep engine can drive -- and wired to the
+    structure cache: the first instance of an ``(n, K1, K2,
+    tick_during_residual)`` shape pays one compile + vectorized
+    exploration (:mod:`repro.pepa.compiled`); every further rate point
+    (lambda, mu, t) refills the cached
+    :class:`~repro.pepa.compiled.CompiledSpace`'s rate column in ~a
+    millisecond.  Rates are validated positive, so rate changes can
+    never alter reachability and the refill's structural congruence
+    check always passes for a correct key.
+
+    ``SOLVE_ENGINE`` tags the sweep solve cache (satellite of the same
+    PR): entries computed here never collide with interpreter-path
+    records from earlier releases.
+    """
+
+    lam: float = 5.0
+    mu: float = 10.0
+    t: float = 51.0
+    n: int = 6
+    K1: int = 10
+    K2: int = 10
+    tick_during_residual: bool = False
+
+    SOLVE_ENGINE = "pepa-compiled-v1"
+
+    def __post_init__(self) -> None:
+        self.params()  # TagsParameters validates ranges
+
+    def params(self) -> TagsParameters:
+        return TagsParameters(
+            lam=self.lam,
+            mu=self.mu,
+            t=self.t,
+            n=self.n,
+            K1=self.K1,
+            K2=self.K2,
+            tick_during_residual=self.tick_during_residual,
+        )
+
+    def build(self) -> Model:
+        return build_tags_model(self.params())
+
+    # ------------------------------------------------------------------
+    def _space(self):
+        """Structure-cached compiled space, refilled with *this* model's
+        rates.  The cache entry is shared; callers must assemble what
+        they need (generator, rewards) before the next refill."""
+        if getattr(self, "_space_memo", None) is not None:
+            return self._space_memo
+        from repro.pepa.compiled import TemplateMismatch, compile_model
+
+        key = (
+            type(self).__qualname__,
+            self.n,
+            self.K1,
+            self.K2,
+            self.tick_during_residual,
+        )
+        model = self.build()
+        cache = structure_cache()
+
+        def build_space():
+            return compile_model(model).explore()
+
+        space = cache.get_or_build(key, build_space)
+        if space.model is not model:
+            try:
+                space.refill(model)
+            except TemplateMismatch:
+                cache.drop(key)
+                space = cache.get_or_build(key, build_space)
+        self._space_memo = space
+        return space
+
+    @property
+    def generator(self):
+        if getattr(self, "_gen", None) is None:
+            self._gen = self._space().generator()
+        return self._gen
+
+    @property
+    def n_states(self) -> int:
+        return self.generator.n_states
+
+    @property
+    def pi(self) -> np.ndarray:
+        if getattr(self, "_pi", None) is None:
+            self._pi = steady_state(self.generator)
+        return self._pi
+
+    def metrics(self) -> QueueMetrics:
+        gen = self.generator
+        pi = self.pi
+        space = self._space()
+        L1 = float(pi @ space.state_reward(_q1_len))
+        L2 = float(pi @ space.state_reward(_q2_len))
+        x_s1 = action_throughput(gen, pi, "service1")
+        x_s2 = action_throughput(gen, pi, "service2")
+        x_to = action_throughput(gen, pi, "timeout")
+        loss1 = action_throughput(gen, pi, "arrloss")
+        loss2 = x_to - x_s2
+        return from_population_and_throughput(
+            mean_jobs_per_node=(L1, L2),
+            throughput=x_s1 + x_s2,
+            offered_load=self.lam,
+            loss_per_node=(loss1, loss2),
+            extra={
+                "n_states": space.n_states,
+                "timeout_throughput": x_to,
+                "service1_throughput": x_s1,
+                "service2_throughput": x_s2,
+            },
+        )

@@ -10,7 +10,9 @@ paper, covering everything its models need:
 * a textual parser for PEPA-Workbench-style source
   (:mod:`~repro.pepa.parser`);
 * reachable-state-space derivation and CTMC generation
-  (:mod:`~repro.pepa.statespace`, :mod:`~repro.pepa.ctmc_map`);
+  (:mod:`~repro.pepa.statespace`, :mod:`~repro.pepa.ctmc_map`), with a
+  compile-once / evaluate-many vectorized engine for the common
+  fragment (:mod:`~repro.pepa.compiled`);
 * static well-formedness checks (:mod:`~repro.pepa.wellformed`);
 * the fluid-flow ODE approximation of Hillston (QEST 2005) used for the
   paper's Figure 4 "alternative model" (:mod:`~repro.pepa.fluid`).
@@ -49,6 +51,12 @@ from repro.pepa.fluid import FluidModel, FluidGroup
 from repro.pepa.pretty import pretty_component, pretty_model
 from repro.pepa.counted import CountedModel
 from repro.pepa.kron import kron_generator
+from repro.pepa.compiled import (
+    CompileError,
+    CompiledModel,
+    CompiledSpace,
+    compile_model,
+)
 from repro.pepa.dot import to_dot
 
 __all__ = [
@@ -83,5 +91,9 @@ __all__ = [
     "pretty_model",
     "CountedModel",
     "kron_generator",
+    "CompileError",
+    "CompiledModel",
+    "CompiledSpace",
+    "compile_model",
     "to_dot",
 ]

@@ -1,0 +1,944 @@
+"""Compiled PEPA engine: vectorized exploration + generator templates.
+
+The interpreter in :mod:`repro.pepa.statespace` pays Python-level AST
+rewriting and component hashing for every transition of every state.
+For the fragment all of this reproduction's models live in, none of that
+work depends on the *rate values* -- only on the cooperation structure
+and each sequential component's local derivative graph.  This module
+exploits that in two steps:
+
+**Compilation** (:func:`compile_model`) flattens the cooperation tree
+into sequential *leaves*, explores each leaf's small local derivative
+graph once through the shared :class:`~repro.pepa.semantics.
+TransitionContext` (the same idea as ``kron.py``'s ``_leaf_block``), and
+turns every global transition family into a *rule*: a flat cross-product
+table of participating leaf moves with
+
+* a packed mixed-radix state key (which local states enable the rule),
+* an integer code delta (how the packed global state changes), and
+* a symbolic rate: the product of the participating leaf entries' rate
+  values, with passive factors row-normalised (PEPA's apparent-rate
+  treatment of the active/passive synchronisation).
+
+**Exploration** (:meth:`CompiledModel.explore`) packs global states into
+an ``int64`` array and runs a level-synchronous BFS: per level, each
+rule is matched against the whole frontier with ``searchsorted`` over
+its sorted key table, successors come from adding code deltas, and the
+frontier is deduplicated with ``np.unique`` -- no AST objects are
+touched until :meth:`CompiledSpace.statespace` reconstructs the
+expressions for presentation.
+
+The supported fragment is exactly what the apparent-rate algebra keeps
+*factorable*: every synchronised action must pair one active side with a
+single passive term (arbitrary nesting and hiding of active actions is
+fine).  Everything else -- both-active or both-passive synchronisation,
+a shared action that is active in several parallel components, hiding a
+passive action, mixed active/passive kinds on one side -- raises
+:class:`CompileError` and :func:`~repro.pepa.statespace.explore` falls
+back to the interpreter.  Reachability-dependent errors keep interpreter
+semantics: a top-level passive transition raises
+:class:`~repro.pepa.statespace.PassiveRateError` only when a reachable
+state enables it ("poison rules" checked during the BFS, unlike
+``kron.py``'s eager whole-product-space check), and ``max_states``
+raises :class:`MemoryError`.
+
+**Templates**: the CSR sparsity pattern of the generator depends only on
+the structure, so :meth:`CompiledSpace.refill` re-evaluates nothing but
+the rate vector for a new model of identical shape -- a parameter sweep
+explores once and refills per (lambda, mu, t) point.  Spans
+``pepa.compile``, ``pepa.explore.fast`` and ``template.refill`` make the
+split visible in :mod:`repro.obs` traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.pepa.semantics import TransitionContext
+from repro.pepa.statespace import PassiveRateError, StateSpace
+from repro.pepa.syntax import TAU, Constant, Cooperation, Hiding, Model
+
+__all__ = [
+    "CompileError",
+    "TemplateMismatch",
+    "CompiledModel",
+    "CompiledSpace",
+    "compile_model",
+]
+
+_MAX_CODE = 2**62  # headroom below int64 so code deltas can never wrap
+_MAX_RULE_ROWS = 5_000_000  # cross-product table guard (falls back)
+
+
+class CompileError(ValueError):
+    """The model falls outside the compiled fragment; callers fall back
+    to the interpreter (:func:`repro.pepa.statespace.explore` does)."""
+
+
+class TemplateMismatch(ValueError):
+    """A refill model's structure differs from the compiled template."""
+
+
+# ----------------------------------------------------------------------
+# leaves: local derivative graphs, int-coded
+# ----------------------------------------------------------------------
+
+
+def _flat_names(comp) -> tuple:
+    """Sequential-component names of ``comp``, flattened exactly like
+    :meth:`StateSpace.local_names` (cooperation/hiding unwrapped)."""
+    out: list = []
+
+    def walk(c) -> None:
+        if isinstance(c, Cooperation):
+            walk(c.left)
+            walk(c.right)
+        elif isinstance(c, Hiding):
+            walk(c.component)
+        else:
+            out.append(c.name if isinstance(c, Constant) else repr(c))
+
+    walk(comp)
+    return tuple(out)
+
+
+class _LeafAction:
+    """Aggregated local transitions of one action within one leaf."""
+
+    __slots__ = ("src", "dst", "val", "passive")
+
+    def __init__(self, src, dst, val, passive) -> None:
+        self.src = src
+        self.dst = dst
+        self.val = val
+        self.passive = passive
+
+
+class _Leaf:
+    """One sequential leaf: local states, their flattened names, and the
+    per-action transition arrays."""
+
+    __slots__ = ("comp", "states", "names", "mats", "n")
+
+    def __init__(self, comp, states, names, mats) -> None:
+        self.comp = comp
+        self.states = states
+        self.names = names
+        self.mats = mats
+        self.n = len(states)
+
+
+def _leaf_table(comp, ctx: TransitionContext) -> _Leaf:
+    """Explore a sequential component in isolation (BFS over its local
+    derivatives) and aggregate multi-transitions per (src, dst)."""
+    index = {comp: 0}
+    states = [comp]
+    raw: dict = {}  # action -> ([src], [dst], [val], passive)
+    head = 0
+    while head < len(states):
+        s = states[head]
+        head += 1
+        for action, rate, succ in ctx.transitions(s):
+            j = index.get(succ)
+            if j is None:
+                j = len(states)
+                index[succ] = j
+                states.append(succ)
+            ent = raw.get(action)
+            if ent is None:
+                ent = raw[action] = ([], [], [], rate.passive)
+            elif ent[3] != rate.passive:
+                raise CompileError(
+                    f"action {action!r} is both active and passive within "
+                    "one sequential component"
+                )
+            ent[0].append(index[s])
+            ent[1].append(j)
+            ent[2].append(rate.value)
+    n = len(states)
+    mats = {}
+    for action, (src, dst, val, passive) in raw.items():
+        src_a = np.asarray(src, dtype=np.int64)
+        dst_a = np.asarray(dst, dtype=np.int64)
+        val_a = np.asarray(val, dtype=np.float64)
+        # aggregate duplicate (src, dst) pairs: PEPA's multiset semantics
+        # sums them, and a single entry per pair keeps the cross-product
+        # tables minimal
+        key = src_a * n + dst_a
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        val_a = val_a[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], key[1:] != key[:-1]))
+        )
+        mats[action] = _LeafAction(
+            key[starts] // n,
+            key[starts] % n,
+            np.add.reduceat(val_a, starts),
+            passive,
+        )
+    names = [_flat_names(s) for s in states]
+    return _Leaf(comp, states, names, mats)
+
+
+# ----------------------------------------------------------------------
+# symbolic combination of the cooperation tree
+# ----------------------------------------------------------------------
+#
+# A *term* is one family of global transitions for one action: a tuple of
+# factors (leaf_id, leaf_action, normalised) whose cross product, with
+# rates multiplied (normalised factors contribute their row-normalised
+# passive weights), enumerates the family.  The combination rules mirror
+# kron.py's matrix algebra, kept symbolic so rates stay refillable.
+
+
+class _Term:
+    __slots__ = ("passive", "factors")
+
+    def __init__(self, passive: bool, factors: tuple) -> None:
+        self.passive = passive
+        self.factors = factors  # ((leaf, action, normalised), ...) by leaf
+
+
+def _combine(left: dict, right: dict, coop_actions) -> dict:
+    out: dict = {}
+    for table in (left, right):
+        for action, terms in table.items():
+            if action not in coop_actions:
+                out.setdefault(action, []).extend(terms)
+    # sorted iteration: frozenset order is hash-dependent across
+    # processes, and rule order must be deterministic
+    for action in sorted(coop_actions):
+        lt = left.get(action)
+        rt = right.get(action)
+        if lt is None or rt is None:
+            continue  # permanently blocked: contributes nothing
+        lkinds = {t.passive for t in lt}
+        rkinds = {t.passive for t in rt}
+        if len(lkinds) > 1 or len(rkinds) > 1:
+            raise CompileError(
+                f"shared action {action!r} mixes active and passive terms "
+                "on one side of a cooperation"
+            )
+        lp, rp = lkinds.pop(), rkinds.pop()
+        if not lp and not rp:
+            raise CompileError(
+                f"synchronised action {action!r} is active on both sides; "
+                "the min-rate semantics is not factorable"
+            )
+        if lp and rp:
+            raise CompileError(
+                f"synchronised action {action!r} is passive on both sides"
+            )
+        passive_terms, active_terms = (lt, rt) if lp else (rt, lt)
+        if len(passive_terms) != 1:
+            raise CompileError(
+                f"passive side of synchronised action {action!r} has "
+                "multiple parallel terms; its apparent rate is not "
+                "factorable"
+            )
+        leaf, act, _ = passive_terms[0].factors[0]
+        pfac = (leaf, act, True)
+        new_terms = [
+            _Term(
+                False,
+                tuple(sorted(t.factors + (pfac,))),
+            )
+            for t in active_terms
+        ]
+        out.setdefault(action, []).extend(new_terms)
+    return out
+
+
+def _hide(table: dict, hidden) -> dict:
+    out: dict = {}
+    for action, terms in table.items():
+        if action in hidden:
+            if any(t.passive for t in terms):
+                raise CompileError(
+                    f"hiding the passive action {action!r}"
+                )
+            out.setdefault(TAU, []).extend(terms)
+        else:
+            out.setdefault(action, []).extend(terms)
+    return out
+
+
+def _flatten(comp, ctx: TransitionContext, leaves: list):
+    """Recursively flatten the system tree.  Returns ``(skeleton,
+    table)`` where skeleton is a nested tuple mirroring the tree shape
+    (for state reconstruction) and table maps action -> list of terms."""
+    if isinstance(comp, Cooperation):
+        lsk, lt = _flatten(comp.left, ctx, leaves)
+        rsk, rt = _flatten(comp.right, ctx, leaves)
+        return ("coop", lsk, rsk, comp.actions), _combine(lt, rt, comp.actions)
+    if isinstance(comp, Hiding):
+        sk, t = _flatten(comp.component, ctx, leaves)
+        return ("hide", sk, comp.actions), _hide(t, comp.actions)
+    i = len(leaves)
+    leaves.append(_leaf_table(comp, ctx))
+    table = {
+        action: [_Term(mat.passive, ((i, action, False),))]
+        for action, mat in leaves[i].mats.items()
+    }
+    return ("leaf", i), table
+
+
+def _skeleton_leaf_order(skeleton, out: list) -> None:
+    kind = skeleton[0]
+    if kind == "coop":
+        _skeleton_leaf_order(skeleton[1], out)
+        _skeleton_leaf_order(skeleton[2], out)
+    elif kind == "hide":
+        _skeleton_leaf_order(skeleton[1], out)
+    else:
+        out.append(skeleton[1])
+
+
+def _match_skeleton(comp, skeleton, out: list) -> None:
+    """Collect the leaf expressions of ``comp`` along ``skeleton``,
+    verifying the tree shape and cooperation/hiding sets match."""
+    kind = skeleton[0]
+    if kind == "coop":
+        if not isinstance(comp, Cooperation) or comp.actions != skeleton[3]:
+            raise TemplateMismatch("cooperation structure differs")
+        _match_skeleton(comp.left, skeleton[1], out)
+        _match_skeleton(comp.right, skeleton[2], out)
+    elif kind == "hide":
+        if not isinstance(comp, Hiding) or comp.actions != skeleton[2]:
+            raise TemplateMismatch("hiding structure differs")
+        _match_skeleton(comp.component, skeleton[1], out)
+    else:
+        if isinstance(comp, (Cooperation, Hiding)):
+            raise TemplateMismatch("leaf position holds a composite")
+        out.append(comp)
+
+
+# ----------------------------------------------------------------------
+# rules: flat cross-product transition tables
+# ----------------------------------------------------------------------
+
+
+class _Rule:
+    """One transition family, ready for vectorized matching.
+
+    ``idx`` holds, per table row and per factor, the row index into the
+    factor's leaf-action entry arrays; everything else is precomputed
+    from it.  Rate values live *outside* the rule (recomputed on refill).
+    """
+
+    __slots__ = (
+        "action",
+        "factors",
+        "leaf_cols",
+        "strides",
+        "idx",
+        "delta",
+        "n_rows",
+        "offset",
+        "key_unique",
+        "row_start",
+        "row_count",
+        "rows_sorted",
+    )
+
+    def __init__(self, action, term: _Term, leaves, mult) -> None:
+        self.action = action
+        self.factors = term.factors
+        mats = [leaves[leaf].mats[act] for leaf, act, _ in term.factors]
+        sizes = [m.src.size for m in mats]
+        n_rows = 1
+        for s in sizes:
+            n_rows *= s
+        if n_rows > _MAX_RULE_ROWS:
+            raise CompileError(
+                f"transition table for action {action!r} has {n_rows} "
+                "rows; model too entangled for the compiled engine"
+            )
+        self.n_rows = n_rows
+        self.offset = 0  # set by CompiledModel
+        grids = np.meshgrid(
+            *(np.arange(s, dtype=np.int64) for s in sizes), indexing="ij"
+        )
+        self.idx = np.stack([g.ravel() for g in grids], axis=1)
+        leaf_ids = [leaf for leaf, _, _ in term.factors]
+        self.leaf_cols = np.asarray(leaf_ids, dtype=np.intp)
+        # rule-local mixed-radix strides over the participating leaves
+        strides = np.empty(len(leaf_ids), dtype=np.int64)
+        acc = 1
+        for k in reversed(range(len(leaf_ids))):
+            strides[k] = acc
+            acc *= leaves[leaf_ids[k]].n
+        self.strides = strides
+        key = np.zeros(n_rows, dtype=np.int64)
+        delta = np.zeros(n_rows, dtype=np.int64)
+        for k, m in enumerate(mats):
+            rows = self.idx[:, k]
+            key += m.src[rows] * strides[k]
+            delta += (m.dst[rows] - m.src[rows]) * mult[leaf_ids[k]]
+        self.delta = delta
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        self.rows_sorted = order
+        self.key_unique, counts = np.unique(key_sorted, return_counts=True)
+        self.row_count = counts
+        self.row_start = np.concatenate(([0], np.cumsum(counts)[:-1]))
+
+    def match(self, locals_: np.ndarray):
+        """Match the rule against a frontier's local-state matrix.
+
+        Returns ``(frontier_rows, table_rows)``: parallel arrays with one
+        entry per (state, enabled table row) pair.
+        """
+        keys = locals_[:, self.leaf_cols] @ self.strides
+        pos = np.searchsorted(self.key_unique, keys)
+        pos_c = np.minimum(pos, self.key_unique.size - 1)
+        ok = self.key_unique[pos_c] == keys
+        fi = np.flatnonzero(ok)
+        if fi.size == 0:
+            return fi, fi
+        counts = self.row_count[pos[fi]]
+        starts = self.row_start[pos[fi]]
+        total = int(counts.sum())
+        rep_fi = np.repeat(fi, counts)
+        base = np.repeat(starts, counts)
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        rows = self.rows_sorted[base + offs]
+        return rep_fi, rows
+
+
+def _rule_values(rule: _Rule, leaves, norm_cache: dict) -> np.ndarray:
+    """Evaluate a rule's rate column: product of its factors' current
+    values (row-normalised for passive factors)."""
+    v = None
+    for k, (leaf, action, normalised) in enumerate(rule.factors):
+        mat = leaves[leaf].mats[action]
+        if normalised:
+            col = norm_cache.get((leaf, action))
+            if col is None:
+                sums = np.bincount(
+                    mat.src, weights=mat.val, minlength=leaves[leaf].n
+                )
+                col = norm_cache[(leaf, action)] = mat.val / sums[mat.src]
+        else:
+            col = mat.val
+        vk = col[rule.idx[:, k]]
+        v = vk if v is None else v * vk
+    return v
+
+
+# ----------------------------------------------------------------------
+# the compiled model
+# ----------------------------------------------------------------------
+
+
+class CompiledModel:
+    """Structure-compiled form of a PEPA model (rates still attached).
+
+    Construction raises :class:`CompileError` when the model falls
+    outside the supported fragment.  :meth:`explore` runs the vectorized
+    BFS and returns a :class:`CompiledSpace`.
+    """
+
+    def __init__(self, model: Model) -> None:
+        rec = obs.recorder()
+        with rec.span("pepa.compile") as sp:
+            self.model = model
+            ctx = TransitionContext(model)
+            self.leaves: list = []
+            self.skeleton, table = _flatten(model.system, ctx, self.leaves)
+            if not self.leaves:
+                raise CompileError("model has no sequential leaves")
+            total = 1
+            for leaf in self.leaves:
+                total *= leaf.n
+            if total >= _MAX_CODE:
+                raise CompileError(
+                    f"product state space ({total} codes) overflows the "
+                    "packed int64 encoding"
+                )
+            L = len(self.leaves)
+            self.radices = np.array(
+                [leaf.n for leaf in self.leaves], dtype=np.int64
+            )
+            mult = np.empty(L, dtype=np.int64)
+            acc = 1
+            for j in reversed(range(L)):
+                mult[j] = acc
+                acc *= self.leaves[j].n
+            self.mult = mult
+            self.rules: list = []
+            self.poison: list = []  # top-level passive families
+            for action in table:  # insertion order: deterministic
+                for term in table[action]:
+                    rule = _Rule(action, term, self.leaves, mult)
+                    (self.poison if term.passive else self.rules).append(rule)
+            offset = 0
+            for rule in self.rules:
+                rule.offset = offset
+                offset += rule.n_rows
+            self.n_table_rows = offset
+            # canonical action ordering (independent of rule order)
+            names = sorted({r.action for r in self.rules})
+            self.action_names = names
+            name_rank = {a: i for i, a in enumerate(names)}
+            self.rule_action = np.array(
+                [name_rank[r.action] for r in self.rules], dtype=np.int64
+            )
+            sp.set(
+                leaves=L,
+                rules=len(self.rules),
+                table_rows=self.n_table_rows,
+            )
+
+    # ------------------------------------------------------------------
+    def values(self) -> np.ndarray:
+        """Current rate column over all rule table rows (concatenated in
+        rule order)."""
+        norm_cache: dict = {}
+        if not self.rules:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(
+            [_rule_values(r, self.leaves, norm_cache) for r in self.rules]
+        )
+
+    def rebind(self, model: Model) -> None:
+        """Re-attach ``model``'s rates to the compiled structure.
+
+        ``model`` must have the same shape: identical cooperation tree,
+        and per leaf the same local derivative graph (state counts,
+        actions, (src, dst) arrays and active/passive kinds).  Raises
+        :class:`TemplateMismatch` otherwise.
+        """
+        exprs: list = []
+        _match_skeleton(model.system, self.skeleton, exprs)
+        if len(exprs) != len(self.leaves):
+            raise TemplateMismatch("leaf count differs")
+        ctx = TransitionContext(model)
+        new_leaves = []
+        for old, comp in zip(self.leaves, exprs):
+            new = _leaf_table(comp, ctx)
+            if new.n != old.n or set(new.mats) != set(old.mats):
+                raise TemplateMismatch("local derivative graph differs")
+            for action, mat in new.mats.items():
+                ref = old.mats[action]
+                if (
+                    mat.passive != ref.passive
+                    or mat.src.size != ref.src.size
+                    or not np.array_equal(mat.src, ref.src)
+                    or not np.array_equal(mat.dst, ref.dst)
+                ):
+                    raise TemplateMismatch(
+                        f"local transitions of action {action!r} differ"
+                    )
+            new_leaves.append(new)
+        self.leaves = new_leaves
+        self.model = model
+
+    # ------------------------------------------------------------------
+    def explore(self, max_states: int = 2_000_000) -> "CompiledSpace":
+        """Level-synchronous vectorized BFS from the initial packed state."""
+        rec = obs.recorder()
+        with rec.span("pepa.explore.fast") as sp:
+            space = self._explore(max_states, rec)
+            sp.set(
+                states=space.n_states,
+                transitions=space.n_transitions,
+                depth=len(space.frontier_sizes),
+            )
+        return space
+
+    def _explore(self, max_states: int, rec) -> "CompiledSpace":
+        rec_on = rec.enabled
+        level_codes = [np.zeros(1, dtype=np.int64)]  # all leaves start at 0
+        sorted_codes = level_codes[0]
+        sorted_ids = np.zeros(1, dtype=np.int64)
+        n_total = 1
+        frontier = level_codes[0]
+        frontier_sizes: list = []
+        m_src: list = []
+        m_succ: list = []
+        m_rule: list = []
+        m_row: list = []
+        while frontier.size:
+            frontier_sizes.append((len(frontier_sizes), int(frontier.size)))
+            if rec_on:
+                rec.gauge("pepa.frontier", frontier.size)
+            locals_ = (frontier[:, None] // self.mult[None, :]) % self.radices[
+                None, :
+            ]
+            for prule in self.poison:
+                fi, _rows = prule.match(locals_)
+                if fi.size:
+                    state = self._describe(frontier[int(fi[0])])
+                    raise PassiveRateError(
+                        f"passive rate for action {prule.action!r} reachable "
+                        f"at the top level in state {state}; the model is "
+                        "incomplete (a 'T' rate never synchronised with an "
+                        "active partner)"
+                    )
+            succ_parts: list = []
+            for ri, rule in enumerate(self.rules):
+                fi, rows = rule.match(locals_)
+                if fi.size == 0:
+                    continue
+                src_c = frontier[fi]
+                succ_c = src_c + rule.delta[rows]
+                m_src.append(src_c)
+                m_succ.append(succ_c)
+                m_rule.append(np.full(rows.size, ri, dtype=np.int64))
+                m_row.append(rows + rule.offset)
+                succ_parts.append(succ_c)
+            if not succ_parts:
+                break
+            cand = np.unique(np.concatenate(succ_parts))
+            pos = np.minimum(
+                np.searchsorted(sorted_codes, cand), sorted_codes.size - 1
+            )
+            new_codes = cand[sorted_codes[pos] != cand]
+            if not new_codes.size:
+                break
+            if n_total + new_codes.size > max_states:
+                raise MemoryError(
+                    f"state space exceeded max_states={max_states}"
+                )
+            level_codes.append(new_codes)
+            n_total += new_codes.size
+            all_codes = np.concatenate(level_codes)
+            order = np.argsort(all_codes, kind="stable")
+            sorted_codes = all_codes[order]
+            sorted_ids = order
+            frontier = new_codes
+
+        codes = np.concatenate(level_codes)
+        if m_src:
+            src_codes = np.concatenate(m_src)
+            succ_codes = np.concatenate(m_succ)
+            rule_ids = np.concatenate(m_rule)
+            table_rows = np.concatenate(m_row)
+            src_ids = sorted_ids[np.searchsorted(sorted_codes, src_codes)]
+            dst_ids = sorted_ids[np.searchsorted(sorted_codes, succ_codes)]
+            act = self.rule_action[rule_ids]
+            # canonical transition order: (src, action, dst); stable, so
+            # equal-key match rows keep their deterministic BFS order and
+            # the float aggregation below is reproducible
+            perm = np.lexsort((dst_ids, act, src_ids))
+            s, a, d = src_ids[perm], act[perm], dst_ids[perm]
+            boundary = np.concatenate(
+                ([True], (s[1:] != s[:-1]) | (a[1:] != a[:-1]) | (d[1:] != d[:-1]))
+            )
+            group = np.cumsum(boundary) - 1
+            entry_src = s[boundary]
+            entry_act = a[boundary]
+            entry_dst = d[boundary]
+            match_rows = table_rows[perm]
+            match_group = group
+        else:
+            entry_src = entry_act = entry_dst = np.empty(0, dtype=np.int64)
+            match_rows = match_group = np.empty(0, dtype=np.int64)
+        space = CompiledSpace(
+            self,
+            codes,
+            entry_src,
+            entry_dst,
+            entry_act,
+            match_rows,
+            match_group,
+            frontier_sizes,
+        )
+        if rec_on:
+            rec.trace("pepa.explore.frontier", frontier_sizes)
+            rec.add("pepa.states", space.n_states)
+            rec.add("pepa.transitions", space.n_transitions)
+        return space
+
+    # ------------------------------------------------------------------
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Per-leaf local state indices of packed ``codes``."""
+        return (np.asarray(codes).reshape(-1, 1) // self.mult) % self.radices
+
+    def _describe(self, code: int) -> str:
+        row = self.decode(np.array([code]))[0]
+        parts = []
+        for j, leaf in enumerate(self.leaves):
+            parts.extend(leaf.names[int(row[j])])
+        return "(" + ", ".join(parts) + ")"
+
+    def rebuild_state(self, local_row) -> object:
+        """Reconstruct the component expression for one local-state row."""
+
+        def build(sk):
+            kind = sk[0]
+            if kind == "coop":
+                return Cooperation(build(sk[1]), build(sk[2]), sk[3])
+            if kind == "hide":
+                return Hiding(build(sk[1]), sk[2])
+            leaf = self.leaves[sk[1]]
+            return leaf.states[int(local_row[sk[1]])]
+
+        return build(self.skeleton)
+
+
+class CompiledSpace:
+    """Explored state space with a refillable rate vector.
+
+    Duck-types the slice of :class:`StateSpace` that
+    :func:`repro.pepa.ctmc_map.to_generator` needs (``n_states``,
+    ``src``/``dst``/``rate``/``action``, ``actions()``), so a generator
+    can be assembled without materialising component expressions;
+    :meth:`statespace` builds the full interpreter-compatible object.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledModel,
+        codes: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        act: np.ndarray,
+        match_rows: np.ndarray,
+        match_group: np.ndarray,
+        frontier_sizes: list,
+    ) -> None:
+        self.compiled = compiled
+        self.codes = codes
+        self.locals = compiled.decode(codes)
+        self.src = src
+        self.dst = dst
+        self._act = act
+        self._match_rows = match_rows
+        self._match_group = match_group
+        self.frontier_sizes = frontier_sizes
+        self._names: "list | None" = None
+        self._reward_memo: dict = {}
+        self._gen_template: "dict | None" = None
+        self.rate = self._fill()
+
+    # -- shape ---------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return int(self.codes.size)
+
+    @property
+    def n_transitions(self) -> int:
+        return int(self.src.size)
+
+    @property
+    def action(self) -> list:
+        names = self.compiled.action_names
+        return [names[i] for i in self._act]
+
+    def actions(self) -> set:
+        return {self.compiled.action_names[i] for i in np.unique(self._act)}
+
+    @property
+    def model(self) -> Model:
+        return self.compiled.model
+
+    # -- rates ---------------------------------------------------------
+    def _fill(self) -> np.ndarray:
+        values = self.compiled.values()
+        if not self._match_rows.size:
+            return np.empty(0, dtype=np.float64)
+        return np.bincount(
+            self._match_group,
+            weights=values[self._match_rows],
+            minlength=self.n_transitions,
+        )
+
+    def refill(self, model: Model) -> "CompiledSpace":
+        """Re-evaluate the rate vector for ``model`` (same structure,
+        new rate values); the state space, sparsity pattern and action
+        labels are reused unchanged.  Returns ``self``.
+        """
+        rec = obs.recorder()
+        with rec.span("template.refill") as sp:
+            old_names = [leaf.names for leaf in self.compiled.leaves]
+            self.compiled.rebind(model)
+            # local names usually survive a rate refill (same constants,
+            # new rate values); only a renamed model invalidates the
+            # name-derived caches, including memoised reward vectors
+            if [leaf.names for leaf in self.compiled.leaves] != old_names:
+                self._names = None
+                self._reward_memo.clear()
+            self.rate = self._fill()
+            if rec.enabled:
+                rec.add("template.refill.points")
+            sp.set(transitions=self.n_transitions)
+        return self
+
+    # -- presentation --------------------------------------------------
+    def names(self) -> list:
+        """Flattened local names per state (no AST reconstruction)."""
+        if self._names is None:
+            leaves = self.compiled.leaves
+            per_leaf = [leaf.names for leaf in leaves]
+            self._names = [
+                tuple(
+                    name
+                    for j in range(len(leaves))
+                    for name in per_leaf[j][int(row[j])]
+                )
+                for row in self.locals
+            ]
+        return self._names
+
+    def state_reward(self, fn) -> np.ndarray:
+        """Vectorise ``fn(local_names) -> float`` over all states.
+
+        Vectors are memoised by ``fn`` identity -- rewards depend only
+        on state names, which survive rate refills -- so a sweep pays
+        each reward once per structure.  Pass module-level functions
+        (not fresh lambdas) to benefit.
+        """
+        out = self._reward_memo.get(fn)
+        if out is None:
+            out = self._reward_memo[fn] = np.fromiter(
+                (fn(nm) for nm in self.names()), dtype=np.float64,
+                count=self.n_states,
+            )
+        return out.copy()
+
+    def generator(self):
+        """Assemble the CTMC generator.
+
+        The first call routes through the reference assembly
+        (:func:`repro.pepa.ctmc_map.to_generator`) and records the CSR
+        sparsity pattern -- entry positions for every transition, per
+        action and for ``Q`` itself.  Later calls (i.e. after a rate
+        refill) write only the data vectors into the frozen pattern,
+        skipping all index sorting and duplicate bookkeeping.
+        """
+        from repro.pepa.ctmc_map import to_generator
+
+        if self._gen_template not in (None, False):
+            return self._generator_from_template()
+        gen = to_generator(self)
+        if self._gen_template is None:
+            # False marks an unsupported pattern: keep using the
+            # reference assembly instead of re-probing every call
+            self._gen_template = self._build_gen_template(gen) or False
+        return gen
+
+    def _build_gen_template(self, gen) -> "dict | None":
+        import scipy.sparse as sp_
+
+        src, dst, rate = self.src, self.dst, self.rate
+        n = self.n_states
+        Q = gen.Q
+        Q.sort_indices()
+        qkey = (
+            np.repeat(np.arange(n, dtype=np.int64), np.diff(Q.indptr)) * n
+            + Q.indices
+        )
+        kf = np.flatnonzero(src != dst)
+        order = np.lexsort((dst[kf], src[kf]))
+        gather = kf[order]  # off-diag transitions in CSR (row, col) order
+        ks, kd = src[gather], dst[gather]
+        boundary = np.concatenate(
+            ([True], (ks[1:] != ks[:-1]) | (kd[1:] != kd[:-1]))
+        ) if ks.size else np.empty(0, dtype=bool)
+        starts = np.flatnonzero(boundary)
+        ukey = ks[starts] * n + kd[starts]
+        pos = np.searchsorted(qkey, ukey)
+        diag_pos = np.searchsorted(qkey, np.arange(n, dtype=np.int64) * (n + 1))
+        # the pattern must hold every off-diagonal entry and a diagonal
+        # slot per row; csr arithmetic can in principle prune explicit
+        # zeros, in which case fall back to full assembly per call
+        if (
+            np.any(pos >= qkey.size)
+            or np.any(qkey[np.minimum(pos, qkey.size - 1)] != ukey)
+            or np.any(diag_pos >= qkey.size)
+            or np.any(
+                qkey[np.minimum(diag_pos, qkey.size - 1)]
+                != np.arange(n, dtype=np.int64) * (n + 1)
+            )
+        ):
+            return None
+        row_boundary = np.concatenate(
+            ([True], ks[1:] != ks[:-1])
+        ) if ks.size else np.empty(0, dtype=bool)
+        row_starts = np.flatnonzero(row_boundary)
+        actions = {}
+        for name in sorted(gen.action_rates):
+            ma = np.flatnonzero(
+                self._act == self.compiled.action_names.index(name)
+            )
+            aorder = ma[np.lexsort((dst[ma], src[ma]))]
+            mat = gen.action_rates[name]
+            mat.sort_indices()
+            if mat.nnz != aorder.size:  # duplicate (src, dst) in action
+                return None
+            actions[name] = {
+                "gather": aorder,
+                "indices": mat.indices.copy(),
+                "indptr": mat.indptr.copy(),
+            }
+        return {
+            "indices": Q.indices.copy(),
+            "indptr": Q.indptr.copy(),
+            "nnz": Q.nnz,
+            "gather": gather,
+            "starts": starts,
+            "pos": pos,
+            "diag_pos": diag_pos,
+            "row_starts": row_starts,
+            "rows": ks[row_starts] if ks.size else np.empty(0, np.int64),
+            "actions": actions,
+            "csr": sp_.csr_matrix,
+        }
+
+    def _generator_from_template(self):
+        from repro.ctmc import Generator
+
+        t = self._gen_template
+        n = self.n_states
+        vals = self.rate[t["gather"]]
+        data = np.zeros(t["nnz"], dtype=np.float64)
+        if vals.size:
+            data[t["pos"]] = np.add.reduceat(vals, t["starts"])
+            exit_rates = np.add.reduceat(vals, t["row_starts"])
+            data[t["diag_pos"][t["rows"]]] = -exit_rates
+        Q = t["csr"](
+            (data, t["indices"].copy(), t["indptr"].copy()), shape=(n, n)
+        )
+        action_rates = {}
+        for name, at in t["actions"].items():
+            action_rates[name] = t["csr"](
+                (
+                    self.rate[at["gather"]],
+                    at["indices"].copy(),
+                    at["indptr"].copy(),
+                ),
+                shape=(n, n),
+            )
+        return Generator(Q, action_rates=action_rates, validate=False)
+
+    def statespace(self) -> StateSpace:
+        """Materialise the interpreter-compatible :class:`StateSpace`
+        (states in canonical order: BFS level, then packed code)."""
+        cm = self.compiled
+        states = [cm.rebuild_state(row) for row in self.locals]
+        space = StateSpace(
+            states=states,
+            index={s: i for i, s in enumerate(states)},
+            src=self.src.copy(),
+            dst=self.dst.copy(),
+            rate=self.rate.copy(),
+            action=self.action,
+            model=cm.model,
+        )
+        space._prime_names(self.names())
+        return space
+
+
+def compile_model(model: Model) -> CompiledModel:
+    """Compile ``model`` for vectorized exploration and rate refills.
+
+    Raises :class:`CompileError` when the model falls outside the
+    supported fragment (see the module docstring for the boundary).
+    """
+    return CompiledModel(model)

@@ -162,11 +162,38 @@ def _sum_rates(action: str, rates: Iterable[Rate]) -> Rate:
 # module-level conveniences (fresh context each call; fine for small uses)
 # ----------------------------------------------------------------------
 
-def transitions(comp: Component, model: Model) -> tuple:
-    """Enabled activities of ``comp`` under ``model``'s definitions."""
-    return TransitionContext(model).transitions(comp)
+def transitions(
+    comp: Component,
+    model: Model,
+    ctx: "TransitionContext | None" = None,
+) -> tuple:
+    """Enabled activities of ``comp`` under ``model``'s definitions.
+
+    Pass a shared ``ctx`` (built against the same ``model``) to keep the
+    memo across calls -- a fresh context per call silently discards it,
+    which turns loops (e.g. well-formedness sweeps over every derivative)
+    quadratic.
+    """
+    if ctx is None:
+        ctx = TransitionContext(model)
+    elif ctx.model is not model:
+        raise ValueError("ctx was built for a different model")
+    return ctx.transitions(comp)
 
 
-def apparent_rate(comp: Component, action: str, model: Model) -> Rate | None:
-    """Apparent rate of ``action`` in ``comp`` (None when disabled)."""
-    return TransitionContext(model).apparent_rate(comp, action)
+def apparent_rate(
+    comp: Component,
+    action: str,
+    model: Model,
+    ctx: "TransitionContext | None" = None,
+) -> Rate | None:
+    """Apparent rate of ``action`` in ``comp`` (None when disabled).
+
+    ``ctx`` works as in :func:`transitions`: share one context across
+    calls against the same model to retain memoisation.
+    """
+    if ctx is None:
+        ctx = TransitionContext(model)
+    elif ctx.model is not model:
+        raise ValueError("ctx was built for a different model")
+    return ctx.apparent_rate(comp, action)

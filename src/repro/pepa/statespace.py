@@ -4,10 +4,17 @@ Breadth-first exploration from the system equation.  Every reachable
 derivative becomes a CTMC state; the labelled multi-transitions are recorded
 as flat arrays ready for sparse-matrix assembly.
 
+:func:`explore` is an engine dispatcher: models inside the compiled
+fragment (see :mod:`repro.pepa.compiled`) are explored by the vectorized
+engine -- identical ``StateSpace`` output, states in canonical
+(BFS-level, packed-code) order -- and everything else falls back to the
+pure-Python interpreter below.
+
 Passive rates must have been closed off by cooperation by the time they
 reach the top level -- a reachable passive transition means the model is
 incomplete (some ``T`` never met an active partner) and raises
-:class:`PassiveRateError`, mirroring the PEPA Workbench's check.
+:class:`PassiveRateError`, mirroring the PEPA Workbench's check.  Both
+engines check this over *reachable* states only.
 """
 
 from __future__ import annotations
@@ -55,6 +62,13 @@ class StateSpace:
     action: list
     model: Model
     initial: int = 0
+    # lazily-built decomposition caches; reward helpers walk each state's
+    # AST exactly once per space, not once per state per reward
+    _names: "list | None" = field(default=None, repr=False, compare=False)
+    _name_codes: "np.ndarray | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _name_vocab: "dict | None" = field(default=None, repr=False, compare=False)
 
     @property
     def n_states(self) -> int:
@@ -85,22 +99,71 @@ class StateSpace:
         walk(self.states[state_id])
         return tuple(out)
 
+    def _prime_names(self, names: list) -> None:
+        """Install a precomputed local-name decomposition (one tuple per
+        state).  The compiled engine knows the names without rebuilding
+        any component expression; everyone else gets them lazily."""
+        if len(names) != self.n_states:
+            raise ValueError("names cache length != state count")
+        self._names = list(names)
+
+    def _ensure_names(self) -> list:
+        if self._names is None:
+            self._names = [
+                tuple(
+                    c.name if isinstance(c, Constant) else repr(c)
+                    for c in self.local_states(i)
+                )
+                for i in range(self.n_states)
+            ]
+        return self._names
+
     def local_names(self, state_id: int) -> tuple:
         """Names of the sequential components (Constants) of a state."""
-        return tuple(
-            c.name if isinstance(c, Constant) else repr(c)
-            for c in self.local_states(state_id)
-        )
+        return self._ensure_names()[state_id]
 
     def state_reward(self, fn) -> np.ndarray:
         """Vectorise ``fn(local_names) -> float`` over all states."""
-        return np.array(
-            [fn(self.local_names(i)) for i in range(self.n_states)], dtype=float
+        names = self._ensure_names()
+        return np.fromiter(
+            (fn(nm) for nm in names), dtype=np.float64, count=self.n_states
         )
+
+    def _coded_names(self):
+        """Int-coded name matrix (n_states x n_leaves) + vocabulary, or
+        ``(None, vocab)`` when states disagree on leaf count (possible
+        only for pathological models whose leaves unfold into composites).
+        """
+        if self._name_vocab is None:
+            names = self._ensure_names()
+            vocab: dict = {}
+            widths = {len(nm) for nm in names}
+            if len(widths) == 1 and names:
+                codes = np.empty((len(names), widths.pop()), dtype=np.int32)
+                for i, nm in enumerate(names):
+                    for j, name in enumerate(nm):
+                        code = vocab.get(name)
+                        if code is None:
+                            code = vocab[name] = len(vocab)
+                        codes[i, j] = code
+                self._name_codes = codes
+            else:
+                for nm in names:
+                    for name in nm:
+                        vocab.setdefault(name, len(vocab))
+                self._name_codes = None
+            self._name_vocab = vocab
+        return self._name_codes, self._name_vocab
 
     def derivative_count(self, name: str) -> np.ndarray:
         """Per-state count of sequential components equal to ``name``
         (the quantity fluid analysis approximates)."""
+        codes, vocab = self._coded_names()
+        code = vocab.get(name)
+        if code is None:
+            return np.zeros(self.n_states, dtype=np.float64)
+        if codes is not None:
+            return (codes == code).sum(axis=1).astype(np.float64)
         return self.state_reward(lambda names: names.count(name))
 
     def find_deadlocks(self) -> np.ndarray:
@@ -114,14 +177,53 @@ def explore(
     model: Model,
     *,
     max_states: int = 2_000_000,
+    engine: str = "auto",
 ) -> StateSpace:
-    """BFS exploration of the reachable derivatives of ``model.system``.
+    """Explore the reachable derivatives of ``model.system``.
 
-    Progress and shape are reported through :mod:`repro.obs`: one
-    ``pepa.explore`` span (state/transition counts, BFS depth), a
-    ``pepa.explore.frontier`` iteration trace (frontier size per BFS
-    level -- the chain's breadth profile) and a ``pepa.frontier`` gauge.
+    ``engine`` selects the implementation:
+
+    * ``"auto"`` (default) -- compile for the vectorized engine; on
+      :class:`~repro.pepa.compiled.CompileError` (model outside the
+      supported fragment) fall back to the interpreter silently.
+    * ``"compiled"`` -- vectorized engine only; ``CompileError``
+      propagates.
+    * ``"interpreter"`` -- the reference pure-Python BFS below.
+
+    Both produce the same ``StateSpace`` contents; the compiled engine
+    orders states canonically (BFS level, then packed local-state code)
+    while the interpreter's order depends on hash-dependent transition
+    enumeration.  Progress is reported through :mod:`repro.obs`: the
+    interpreter emits a ``pepa.explore`` span, the fast path
+    ``pepa.compile`` + ``pepa.explore.fast``; both emit the
+    ``pepa.explore.frontier`` trace, ``pepa.frontier`` gauge and
+    ``pepa.states``/``pepa.transitions`` counters.
     """
+    if engine not in ("auto", "compiled", "interpreter"):
+        raise ValueError(
+            f"unknown engine {engine!r}: pick 'auto', 'compiled' or "
+            "'interpreter'"
+        )
+    if engine != "interpreter":
+        # lazy import: compiled.py imports this module for StateSpace
+        from repro.pepa.compiled import CompileError, compile_model
+
+        try:
+            compiled = compile_model(model)
+        except CompileError:
+            if engine == "compiled":
+                raise
+        else:
+            return compiled.explore(max_states=max_states).statespace()
+    return _explore_interpreter(model, max_states=max_states)
+
+
+def _explore_interpreter(
+    model: Model,
+    *,
+    max_states: int = 2_000_000,
+) -> StateSpace:
+    """Reference BFS: pure-Python AST rewriting, one state at a time."""
     ctx = TransitionContext(model)
     rec = obs.recorder()
     rec_on = rec.enabled

@@ -12,7 +12,11 @@ package makes those sweeps cheap three ways:
   optional on-disk layer -- so repeated figures and optimiser probes hit
   the cache instead of re-solving;
 * consecutive cache misses warm-start the iterative solvers with the
-  previous point's stationary vector (``pi0``).
+  previous point's stationary vector (``pi0``);
+* :class:`StructureCache` memoizes the *reachability structure*
+  (compiled PEPA spaces, chain templates) keyed by the structure-shaping
+  parameters only, so a rate grid explores each state space exactly once
+  and re-evaluates only the generator's rate column per point.
 
 See ``docs/performance.md`` for the full story and
 ``benchmarks/bench_sweep_engine.py`` for measured speedups.
@@ -27,8 +31,11 @@ from repro.sweep.engine import (
     solve_point,
 )
 from repro.sweep.stats import PointStats, SweepResult, format_sweep_stats
+from repro.sweep.structure import StructureCache, structure_cache
 
 __all__ = [
+    "StructureCache",
+    "structure_cache",
     "SolveCache",
     "SolveRecord",
     "UncacheableParams",

@@ -81,17 +81,28 @@ def _canon(value):
     )
 
 
-def cache_key(model_cls: type, params: dict, method: str, tol: float) -> str:
+def cache_key(
+    model_cls: type,
+    params: dict,
+    method: str,
+    tol: float,
+    engine: "str | None" = None,
+) -> str:
     """Stable content hash identifying one steady-state solve.
 
     Any change to the model class, any constructor parameter, the solver
-    method or the tolerance yields a different key.
+    method or the tolerance yields a different key.  ``engine`` is the
+    model's solve-engine tag (``SOLVE_ENGINE`` class attribute, e.g.
+    ``"pepa-compiled-v1"``): bumping it when an engine's numerics change
+    retires every stale disk entry instead of silently mixing results
+    computed by different code paths.
     """
     token = (
         f"{model_cls.__module__}.{model_cls.__qualname__}",
         _canon(dict(params)),
         str(method),
         repr(float(tol)),
+        None if engine is None else str(engine),
     )
     return hashlib.sha256(repr(token).encode()).hexdigest()
 

@@ -264,7 +264,16 @@ class SweepEngine:
         if self.cache is None:
             return None
         try:
-            return cache_key(model_cls, dict(params), self.method, self.tol)
+            return cache_key(
+                model_cls,
+                dict(params),
+                self.method,
+                self.tol,
+                # models solved by a non-reference engine carry a tag so
+                # their records never collide with stale disk entries
+                # written by another engine version
+                engine=getattr(model_cls, "SOLVE_ENGINE", None),
+            )
         except UncacheableParams:
             return None
 

@@ -95,12 +95,29 @@ class TestNonConvergenceDiagnostics:
 
 class TestStateSpaceBuilds:
     def test_pepa_explore_span_and_counters(self):
+        # default engine: the compiled fast path emits pepa.explore.fast;
+        # out-of-fragment models fall back and emit pepa.explore
         with obs.use(obs.Recorder()) as rec:
             space = explore(parse_model(MM1K_PEPA))
-        span = rec.find_spans("pepa.explore")[0]
+        spans = rec.find_spans("pepa.explore.fast") + rec.find_spans(
+            "pepa.explore"
+        )
+        span = spans[0]
         assert span.attrs["states"] == space.n_states == 4
         assert rec.counter("pepa.states") == 4
         assert rec.counter("pepa.transitions") == span.attrs["transitions"]
+
+    def test_pepa_interpreter_span(self):
+        with obs.use(obs.Recorder()) as rec:
+            space = explore(parse_model(MM1K_PEPA), engine="interpreter")
+        span = rec.find_spans("pepa.explore")[0]
+        assert span.attrs["states"] == space.n_states == 4
+
+    def test_pepa_compile_span(self):
+        with obs.use(obs.Recorder()) as rec:
+            explore(parse_model(MM1K_PEPA), engine="compiled")
+        assert rec.find_spans("pepa.compile")
+        assert rec.find_spans("pepa.explore.fast")
 
     def test_pepa_frontier_trace_sums_to_states(self):
         with obs.use(obs.Recorder()) as rec:

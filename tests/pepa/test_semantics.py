@@ -179,3 +179,35 @@ class TestApparentRate:
         m = model({"P": Choice(act("a", top(1.0), P), act("a", top(2.0), P))}, P)
         r = apparent_rate(P, "a", m)
         assert r.passive and r.value == 3.0
+
+
+class TestSharedContext:
+    """Module-level transitions()/apparent_rate() accept a caller-owned
+    TransitionContext so batch callers share one memo table."""
+
+    def _model(self):
+        return model({"P": act("a", 2.0, P), "Q": act("b", 3.0, P)}, P)
+
+    def test_shared_ctx_reused(self):
+        from repro.pepa.semantics import TransitionContext
+
+        m = self._model()
+        ctx = TransitionContext(m)
+        first = transitions(P, m, ctx)
+        assert transitions(P, m, ctx) is first  # memo hit: same tuple object
+        assert apparent_rate(P, "a", m, ctx) == Rate(2.0)
+
+    def test_ctx_for_wrong_model_rejected(self):
+        from repro.pepa.semantics import TransitionContext
+
+        m = self._model()
+        other = model({"P": act("a", 9.0, P)}, P)
+        ctx = TransitionContext(other)
+        with pytest.raises(ValueError, match="different model"):
+            transitions(P, m, ctx)
+        with pytest.raises(ValueError, match="different model"):
+            apparent_rate(P, "a", m, ctx)
+
+    def test_default_builds_fresh_ctx(self):
+        m = self._model()
+        assert transitions(P, m) == transitions(P, m)

@@ -272,3 +272,51 @@ class TestModelSpec:
         clone = pickle.loads(pickle.dumps(rec))
         assert isinstance(clone, SolveRecord)
         np.testing.assert_array_equal(clone.pi, rec.pi)
+
+
+class TestEngineTag:
+    """Satellite: the solve-cache key carries an engine/version tag so a
+    solver-pipeline change (e.g. interpreter -> compiled) invalidates old
+    entries instead of silently serving them."""
+
+    BASE = dict(
+        model_cls=TagsExponential, params=dict(lam=5.0), method="auto", tol=1e-8
+    )
+
+    def test_engine_changes_key(self):
+        assert cache_key(**self.BASE) != cache_key(**self.BASE, engine="v2")
+        assert cache_key(**self.BASE, engine="v1") != cache_key(
+            **self.BASE, engine="v2"
+        )
+
+    def test_engine_none_is_default(self):
+        assert cache_key(**self.BASE) == cache_key(**self.BASE, engine=None)
+
+    def test_sweep_key_uses_solve_engine_attr(self):
+        eng = make_engine()
+        base = eng._key(TagsExponential, dict(lam=5.0))
+        assert base == cache_key(
+            TagsExponential,
+            dict(lam=5.0),
+            eng.method,
+            eng.tol,
+            engine=TagsExponential.SOLVE_ENGINE,
+        )
+
+    def test_untagged_model_gets_no_tag(self):
+        class Plain:
+            pass
+
+        eng = make_engine()
+        assert eng._key(Plain, dict(lam=5.0)) == cache_key(
+            Plain, dict(lam=5.0), eng.method, eng.tol, engine=None
+        )
+
+    def test_engine_bump_invalidates_cache_entry(self, monkeypatch):
+        eng = make_engine()
+        eng.solve(CountingMM1K, PARAMS)
+        assert CountingMM1K.builds == 1
+        monkeypatch.setattr(CountingMM1K, "SOLVE_ENGINE", "bumped-v2",
+                            raising=False)
+        eng.solve(CountingMM1K, PARAMS)
+        assert CountingMM1K.builds == 2  # old entry not served
